@@ -1,0 +1,290 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark prints the same rows/series the paper
+// reports (once) and times the regeneration; -benchmem shows the
+// allocation cost of the analysis pipeline.
+//
+// The wild-campaign benchmarks share one simulated campaign (built on
+// first use) and time the analysis step, matching how the experiments are
+// consumed; BenchmarkCampaignSimulation times the simulation itself.
+package tagsim_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tagsim"
+)
+
+// benchCampaign is the shared campaign for the wild-data figures.
+var (
+	benchOnce     sync.Once
+	benchCampaign *tagsim.Campaign
+	printedMu     sync.Mutex
+	printed       = map[string]bool{}
+)
+
+func campaign(b *testing.B) *tagsim.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCampaign = tagsim.NewCampaign(tagsim.CampaignOptions{Seed: 1, Scale: 0.15, DevicesPerCity: 400})
+	})
+	return benchCampaign
+}
+
+// printOnce emits a figure's rendering into the benchmark output exactly
+// once, so bench logs double as the reproduced tables.
+func printOnce(name, rendering string) {
+	printedMu.Lock()
+	defer printedMu.Unlock()
+	if !printed[name] {
+		printed[name] = true
+		fmt.Printf("\n%s\n", rendering)
+	}
+}
+
+func BenchmarkTable1DatasetSummary(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Table1(c)
+		total = r.Total.AppleNow + r.Total.SamsungNow
+		if i == 0 {
+			printOnce("table1", r.Render())
+		}
+	}
+	b.ReportMetric(float64(total), "now_reports")
+}
+
+func BenchmarkFigure2BeaconRSSI(b *testing.B) {
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure2(int64(i + 1))
+		gap = r.Median(tagsim.VendorSamsung, 0) - r.Median(tagsim.VendorApple, 0)
+		if i == 0 {
+			printOnce("fig2", r.Render())
+		}
+	}
+	b.ReportMetric(gap, "contact_gap_dB")
+}
+
+func BenchmarkFigure3CafeteriaUpdateRates(b *testing.B) {
+	var peak float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure3(int64(i+1), 1)
+		peak = r.Peak(tagsim.VendorApple)
+		if i == 0 {
+			printOnce("fig3", r.Render())
+		}
+	}
+	b.ReportMetric(peak, "peak_upd_per_h")
+}
+
+func BenchmarkFigure4UpdateRateVsDevices(b *testing.B) {
+	var plateau float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure4(int64(i+1), 1)
+		if rate, ok := r.SamsungRateAt(25); ok {
+			plateau = rate
+		}
+		if i == 0 {
+			printOnce("fig4", r.Render())
+		}
+	}
+	b.ReportMetric(plateau, "samsung_plateau")
+}
+
+func BenchmarkFigure5AccuracySweep(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		for _, radius := range []float64{10, 25, 100} {
+			r := tagsim.Figure5Sweep(c, radius)
+			if radius == 100 {
+				acc = r.Acc(tagsim.VendorCombined, 10)
+			}
+			if i == 0 {
+				printOnce(fmt.Sprintf("fig5-%v", radius), r.Render())
+			}
+		}
+	}
+	b.ReportMetric(acc, "acc_10min_100m_pct")
+}
+
+func BenchmarkFigure5dMobility(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var ped float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure5d(c)
+		ped = r.Mean("Pedestrian", 100)
+		if i == 0 {
+			printOnce("fig5d", r.Render())
+		}
+	}
+	b.ReportMetric(ped, "pedestrian_acc_pct")
+}
+
+func BenchmarkFigure5eDayPeriods(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure5e(c)
+		if i == 0 {
+			printOnce("fig5e", r.Render())
+		}
+	}
+}
+
+func BenchmarkFigure5fWeekday(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure5f(c)
+		if i == 0 {
+			printOnce("fig5f", r.Render())
+		}
+	}
+}
+
+func BenchmarkFigure6HexagonVisits(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var cells int
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure6(c, "AE")
+		cells = 0
+		for _, cs := range r.CellsByClass {
+			cells += len(cs)
+		}
+		if i == 0 {
+			printOnce("fig6", r.Render())
+		}
+	}
+	b.ReportMetric(float64(cells), "visited_hexagons")
+}
+
+func BenchmarkFigure7DensityCDF(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure7(c)
+		if i == 0 {
+			printOnce("fig7", r.Render())
+		}
+	}
+}
+
+func BenchmarkFigure8RadiusSweep(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Figure8(c)
+		acc = r.Acc[60*time.Minute][100]
+		if i == 0 {
+			printOnce("fig8", r.Render())
+		}
+	}
+	b.ReportMetric(acc, "acc_1h_100m_pct")
+}
+
+func BenchmarkHeadlineClaims(b *testing.B) {
+	c := campaign(b)
+	b.ResetTimer()
+	var backtrack float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Headline(c)
+		backtrack = r.BacktrackFrac1h10m
+		if i == 0 {
+			printOnce("headline", r.Render())
+		}
+	}
+	b.ReportMetric(backtrack*100, "backtrack_1h_10m_pct")
+}
+
+func BenchmarkBatteryLife(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.Battery()
+		ratio = r.Ratio
+		if i == 0 {
+			printOnce("battery", r.Render())
+		}
+	}
+	b.ReportMetric(ratio, "smart_to_air_ratio")
+}
+
+func BenchmarkAntiStalkDetection(b *testing.B) {
+	var detected int
+	for i := 0; i < b.N; i++ {
+		sweep := tagsim.RotationSweep(int64(i+1), 24*time.Hour, []time.Duration{
+			15 * time.Minute, time.Hour, 6 * time.Hour, 24 * time.Hour,
+		})
+		detected = 0
+		for _, p := range sweep {
+			if p.AirGuard.Detected {
+				detected++
+			}
+		}
+		if i == 0 {
+			var s string
+			for _, p := range sweep {
+				s += fmt.Sprintf("rotation %-8v pseudonyms %3d vendor detected=%-5v airguard detected=%v\n",
+					p.Rotation, p.Vendor.AddressesSeen, p.Vendor.Detected, p.AirGuard.Detected)
+			}
+			printOnce("antistalk", "Anti-stalking detection vs rotation\n"+s)
+		}
+	}
+	b.ReportMetric(float64(detected), "rotations_detected")
+}
+
+// BenchmarkAblationStrategy regenerates the reporting-policy ablation
+// (DESIGN.md ablations 1-2): the update-rate plateau is cloud-enforced.
+func BenchmarkAblationStrategy(b *testing.B) {
+	var uncapped float64
+	for i := 0; i < b.N; i++ {
+		r := tagsim.AblationStrategies(int64(i+1), 60, 3)
+		uncapped, _ = r.Rate("aggressive, no cloud cap")
+		if i == 0 {
+			printOnce("ablation-strategy", r.Render())
+		}
+	}
+	b.ReportMetric(uncapped, "uncapped_upd_per_h")
+}
+
+// BenchmarkCampaignSimulation times the in-the-wild simulation itself
+// (one country, one day) rather than the analysis.
+func BenchmarkCampaignSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tagsim.RunWild(tagsim.WildConfig{
+			Seed: int64(i + 1),
+			Countries: []tagsim.CountrySpec{{
+				Code: "BB", Cities: 1, Days: 1, WalkKm: 3, JogKm: 3, TransitKm: 30,
+				Center:         tagsim.LatLon{Lat: 24.45, Lon: 54.38},
+				CityPopulation: 150000, AppleShare: 0.6, SamsungShare: 0.15,
+			}},
+			DevicesPerCity: 300,
+		})
+	}
+}
+
+// BenchmarkAblationCrossEcosystem compares the paper's combined-analysis
+// emulation against a true cross-ecosystem world where each vendor's
+// devices report both tags (DESIGN.md ablation 4).
+func BenchmarkAblationCrossEcosystem(b *testing.B) {
+	var accCombined float64
+	for i := 0; i < b.N; i++ {
+		c := campaign(b)
+		r := tagsim.Figure5Sweep(c, 100)
+		accCombined = r.Acc(tagsim.VendorCombined, 10) - r.Acc(tagsim.VendorApple, 10)
+		if i == 0 {
+			printOnce("ablation-combined", fmt.Sprintf(
+				"Ablation: combined-vs-individual gain at 10 min/100 m = %.1f points\n", accCombined))
+		}
+	}
+	b.ReportMetric(accCombined, "combined_gain_points")
+}

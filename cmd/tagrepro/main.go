@@ -1,0 +1,97 @@
+// Command tagrepro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tagrepro [-seed N] [-scale F] [-devices N] [-run all|table1|fig2|fig3|fig4|fig5|fig5d|fig5e|fig5f|fig6|fig7|fig8|battery|headline]
+//
+// -scale 1 reproduces the full 120-day campaign (minutes of CPU);
+// the default 0.25 regenerates every figure in tens of seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tagsim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 0.25, "campaign scale (1 = the paper's 120 days)")
+	devices := flag.Int("devices", 500, "reporting devices per city")
+	run := flag.String("run", "all", "experiment to run (comma-separated)")
+	cafDays := flag.Int("caf-days", 5, "cafeteria deployment days (figures 3-4)")
+	flag.Parse()
+
+	fmt.Println(tagsim.String())
+	opts := tagsim.CampaignOptions{Seed: *seed, Scale: *scale, DevicesPerCity: *devices}
+
+	wants := map[string]bool{}
+	for _, w := range strings.Split(*run, ",") {
+		wants[strings.TrimSpace(strings.ToLower(w))] = true
+	}
+	want := func(name string) bool { return wants["all"] || wants[name] }
+
+	if want("fig2") {
+		fmt.Println(tagsim.Figure2(*seed).Render())
+	}
+	if want("fig3") {
+		fig3 := tagsim.Figure3(*seed, *cafDays)
+		fmt.Println(fig3.Render())
+		fmt.Println(fig3.RenderChart())
+	}
+	if want("fig4") {
+		fmt.Println(tagsim.Figure4(*seed, *cafDays).Render())
+	}
+	if want("battery") {
+		fmt.Println(tagsim.Battery().Render())
+	}
+
+	needsCampaign := false
+	for _, name := range []string{"table1", "fig5", "fig5d", "fig5e", "fig5f", "fig6", "fig7", "fig8", "headline"} {
+		if want(name) {
+			needsCampaign = true
+		}
+	}
+	if !needsCampaign {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "running in-the-wild campaign (seed=%d scale=%.2f devices=%d)...\n", *seed, *scale, *devices)
+	c := tagsim.NewCampaign(opts)
+
+	if want("table1") {
+		fmt.Println(tagsim.Table1(c).Render())
+	}
+	if want("fig5") {
+		for _, radius := range []float64{10, 25, 100} {
+			sweep := tagsim.Figure5Sweep(c, radius)
+			fmt.Println(sweep.Render())
+			fmt.Println(sweep.RenderChart())
+		}
+	}
+	if want("fig5d") {
+		fmt.Println(tagsim.Figure5d(c).Render())
+	}
+	if want("fig5e") {
+		fmt.Println(tagsim.Figure5e(c).Render())
+	}
+	if want("fig5f") {
+		fmt.Println(tagsim.Figure5f(c).Render())
+	}
+	if want("fig6") {
+		fmt.Println(tagsim.Figure6(c, "AE").Render())
+	}
+	if want("fig7") {
+		fmt.Println(tagsim.Figure7(c).Render())
+	}
+	if want("fig8") {
+		fig8 := tagsim.Figure8(c)
+		fmt.Println(fig8.Render())
+		fmt.Println(fig8.RenderChart())
+	}
+	if want("headline") {
+		fmt.Println(tagsim.Headline(c).Render())
+	}
+}

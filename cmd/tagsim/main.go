@@ -1,0 +1,89 @@
+// Command tagsim runs one simulation scenario and writes its raw traces
+// (ground truth and crawler logs) as CSV/JSONL, the format of the paper's
+// released dataset.
+//
+// Usage:
+//
+//	tagsim -scenario wild|cafeteria -seed N -out DIR [-scale F]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"tagsim"
+	"tagsim/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagsim: ")
+	scenarioName := flag.String("scenario", "wild", "scenario to run: wild or cafeteria")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 0.1, "wild campaign scale")
+	out := flag.String("out", "traces", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	switch *scenarioName {
+	case "wild":
+		runWild(*seed, *scale, *out)
+	case "cafeteria":
+		runCafeteria(*seed, *out)
+	default:
+		log.Fatalf("unknown scenario %q", *scenarioName)
+	}
+}
+
+func runWild(seed int64, scale float64, out string) {
+	res := tagsim.RunWild(tagsim.WildConfig{Seed: seed, Scale: scale})
+	for _, cr := range res.Countries {
+		gtPath := filepath.Join(out, fmt.Sprintf("groundtruth_%s.csv", cr.Spec.Code))
+		writeFile(gtPath, func(f *os.File) error {
+			return trace.WriteGroundTruthCSV(f, cr.Dataset.GroundTruth)
+		})
+		for _, v := range []tagsim.Vendor{tagsim.VendorApple, tagsim.VendorSamsung} {
+			p := filepath.Join(out, fmt.Sprintf("crawls_%s_%s.csv", cr.Spec.Code, v))
+			recs := cr.Dataset.CrawlsFor(v)
+			writeFile(p, func(f *os.File) error {
+				return trace.WriteCrawlCSV(f, recs)
+			})
+		}
+		log.Printf("%s: %d fixes, %d apple + %d samsung crawl records",
+			cr.Spec.Code, len(cr.Dataset.GroundTruth),
+			len(cr.Dataset.CrawlsFor(tagsim.VendorApple)),
+			len(cr.Dataset.CrawlsFor(tagsim.VendorSamsung)))
+	}
+}
+
+func runCafeteria(seed int64, out string) {
+	res := tagsim.RunCafeteria(tagsim.CafeteriaConfig{Seed: seed})
+	writeFile(filepath.Join(out, "cafeteria_counts.jsonl"), func(f *os.File) error {
+		return trace.WriteJSONL(f, res.Counts)
+	})
+	writeFile(filepath.Join(out, "cafeteria_apple_reports.jsonl"), func(f *os.File) error {
+		return trace.WriteJSONL(f, res.AppleHistory)
+	})
+	writeFile(filepath.Join(out, "cafeteria_samsung_reports.jsonl"), func(f *os.File) error {
+		return trace.WriteJSONL(f, res.SamsungHistory)
+	})
+	log.Printf("cafeteria: %d hourly counts, %d apple + %d samsung reports",
+		len(res.Counts), len(res.AppleHistory), len(res.SamsungHistory))
+}
+
+func writeFile(path string, fn func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := fn(f); err != nil {
+		log.Fatalf("write %s: %v", path, err)
+	}
+	log.Printf("wrote %s", path)
+}

@@ -1,0 +1,63 @@
+// Command tagstalk evaluates the anti-stalking detectors against the tags'
+// MAC randomization: it simulates a victim carrying a planted tag for a
+// day and reports whether (and when) each detector catches it, across a
+// sweep of pseudonym rotation periods.
+//
+// Usage:
+//
+//	tagstalk [-hours N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"tagsim"
+)
+
+func main() {
+	hours := flag.Int("hours", 24, "stalking episode length")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	rotations := []time.Duration{
+		15 * time.Minute, // SmartTag / AirTag near-owner
+		time.Hour,
+		6 * time.Hour,
+		24 * time.Hour, // AirTag separated mode
+		0,              // never rotates (cloned tag, Mayberry et al.)
+	}
+	sweep := tagsim.RotationSweep(*seed, time.Duration(*hours)*time.Hour, normalize(rotations, *hours))
+
+	fmt.Printf("Anti-stalking detection vs pseudonym rotation (%d h victim day)\n", *hours)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rotation\tpseudonyms seen\tvendor detector\tairguard detector")
+	for _, p := range sweep {
+		fmt.Fprintf(tw, "%v\t%d\t%s\t%s\n",
+			p.Rotation, p.Vendor.AddressesSeen, outcome(p.Vendor), outcome(p.AirGuard))
+	}
+	tw.Flush()
+	fmt.Println("\nCross-ecosystem blindness: the built-in detector never sees the other vendor's tags;")
+	fmt.Println("AirGuard-style scanners see every tag but are defeated by fast rotation.")
+}
+
+func normalize(rotations []time.Duration, hours int) []time.Duration {
+	out := make([]time.Duration, 0, len(rotations))
+	for _, r := range rotations {
+		if r == 0 {
+			r = time.Duration(hours+1) * time.Hour // effectively never
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func outcome(o tagsim.StalkOutcome) string {
+	if !o.Detected {
+		return "evaded"
+	}
+	return fmt.Sprintf("detected after %v", o.Latency.Round(time.Minute))
+}

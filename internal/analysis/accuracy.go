@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// AccuracyResult is the hit/miss tally for one accuracy computation.
+type AccuracyResult struct {
+	Buckets int // buckets with ground-truth coverage
+	Hits    int // buckets with a report within the radius
+}
+
+// Pct returns the accuracy percentage (0 when no buckets qualified).
+func (r AccuracyResult) Pct() float64 {
+	if r.Buckets == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Buckets) * 100
+}
+
+// Add merges another result into r.
+func (r *AccuracyResult) Add(o AccuracyResult) {
+	r.Buckets += o.Buckets
+	r.Hits += o.Hits
+}
+
+// Accuracy computes the paper's core metric. Time is cut into
+// bucket-length intervals from `from` to `to`; a bucket counts when the
+// vantage point has ground-truth coverage in it, and hits when at least
+// one crawled report, with ReportedAt inside the bucket, lies within
+// radiusM of the vantage point's position at the report time.
+//
+// The bucket length doubles as the responsiveness axis of Figures 5a-c:
+// a 10-minute bucket asks "could the stalker locate the victim within 10
+// minutes", a 120-minute bucket relaxes that to two hours.
+func Accuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time) AccuracyResult {
+	if bucket <= 0 || !to.After(from) {
+		return AccuracyResult{}
+	}
+	// Index distinct reports by ReportedAt.
+	distinct := distinctByReportTime(reports)
+	var res AccuracyResult
+	ri := 0
+	for bs := from; bs.Before(to); bs = bs.Add(bucket) {
+		be := bs.Add(bucket)
+		if !truth.HasCoverage(bs, be) {
+			continue
+		}
+		res.Buckets++
+		// Advance to the first report in this bucket.
+		for ri < len(distinct) && distinct[ri].ReportedAt.Before(bs) {
+			ri++
+		}
+		for k := ri; k < len(distinct) && distinct[k].ReportedAt.Before(be); k++ {
+			pos, ok := truth.At(distinct[k].ReportedAt)
+			if !ok {
+				continue
+			}
+			if geo.Distance(pos, distinct[k].Pos) <= radiusM {
+				res.Hits++
+				break
+			}
+		}
+	}
+	return res
+}
+
+// distinctByReportTime collapses repeated crawl observations of the same
+// underlying report and sorts by report time.
+func distinctByReportTime(reports []trace.CrawlRecord) []trace.CrawlRecord {
+	type key struct {
+		tag string
+		pos geo.LatLon
+	}
+	var out []trace.CrawlRecord
+	last := make(map[key]time.Time)
+	for _, r := range reports {
+		k := key{r.TagID, r.Pos}
+		if prev, ok := last[k]; ok && absDur(prev.Sub(r.ReportedAt)) <= 90*time.Second {
+			continue
+		}
+		last[k] = r.ReportedAt
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ReportedAt.Before(out[j].ReportedAt) })
+	return out
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// DailyAccuracy computes one accuracy sample per UTC day — the per-scenario
+// sample population the paper runs its t-tests over. Days with fewer than
+// minBuckets qualifying buckets are skipped.
+func DailyAccuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, minBuckets int) []float64 {
+	if minBuckets <= 0 {
+		minBuckets = 3
+	}
+	var out []float64
+	for day := from.UTC().Truncate(24 * time.Hour); day.Before(to); day = day.Add(24 * time.Hour) {
+		dayEnd := day.Add(24 * time.Hour)
+		lo, hi := maxTime(day, from), minTime(dayEnd, to)
+		if !hi.After(lo) {
+			continue
+		}
+		res := Accuracy(truth, reports, bucket, radiusM, lo, hi)
+		if res.Buckets >= minBuckets {
+			out = append(out, res.Pct())
+		}
+	}
+	return out
+}
+
+// BucketClassifier assigns an accuracy bucket to a class (speed class, day
+// period, weekday/weekend...). ok=false excludes the bucket.
+type BucketClassifier func(bucketStart, bucketEnd time.Time) (class string, ok bool)
+
+// AccuracyByClass splits buckets by a classifier and tallies accuracy per
+// class — the machinery behind Figures 5d, 5e, and 5f.
+func AccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier) map[string]AccuracyResult {
+	out := make(map[string]AccuracyResult)
+	if bucket <= 0 || !to.After(from) {
+		return out
+	}
+	distinct := distinctByReportTime(reports)
+	ri := 0
+	for bs := from; bs.Before(to); bs = bs.Add(bucket) {
+		be := bs.Add(bucket)
+		if !truth.HasCoverage(bs, be) {
+			continue
+		}
+		class, ok := classify(bs, be)
+		if !ok {
+			continue
+		}
+		res := out[class]
+		res.Buckets++
+		for ri < len(distinct) && distinct[ri].ReportedAt.Before(bs) {
+			ri++
+		}
+		for k := ri; k < len(distinct) && distinct[k].ReportedAt.Before(be); k++ {
+			pos, tok := truth.At(distinct[k].ReportedAt)
+			if !tok {
+				continue
+			}
+			if geo.Distance(pos, distinct[k].Pos) <= radiusM {
+				res.Hits++
+				break
+			}
+		}
+		out[class] = res
+	}
+	return out
+}
+
+// DailyAccuracyByClass produces per-day accuracy samples per class, the
+// inputs to the paper's t-tests (one mean accuracy per day per scenario).
+func DailyAccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier, minBuckets int) map[string][]float64 {
+	if minBuckets <= 0 {
+		minBuckets = 3
+	}
+	out := make(map[string][]float64)
+	for day := from.UTC().Truncate(24 * time.Hour); day.Before(to); day = day.Add(24 * time.Hour) {
+		dayEnd := day.Add(24 * time.Hour)
+		lo, hi := maxTime(day, from), minTime(dayEnd, to)
+		if !hi.After(lo) {
+			continue
+		}
+		byClass := AccuracyByClass(truth, reports, bucket, radiusM, lo, hi, classify)
+		for class, res := range byClass {
+			if res.Buckets >= minBuckets {
+				out[class] = append(out[class], res.Pct())
+			}
+		}
+	}
+	return out
+}
+
+func maxTime(a, b time.Time) time.Time {
+	if a.After(b) {
+		return a
+	}
+	return b
+}
+
+func minTime(a, b time.Time) time.Time {
+	if a.Before(b) {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// crawlAt fabricates a distinct crawled report at the given report time
+// and position.
+func crawlAt(reportedAt time.Time, pos geo.LatLon) trace.CrawlRecord {
+	return trace.CrawlRecord{
+		CrawlT:     reportedAt.Add(time.Minute),
+		TagID:      "tag",
+		Vendor:     trace.VendorApple,
+		Pos:        pos,
+		ReportedAt: reportedAt,
+	}
+}
+
+func TestAccuracyPerfectReports(t *testing.T) {
+	fixes := walkFixes(t0, origin, 3.6, time.Hour)
+	ti := NewTruthIndex(fixes)
+	// One exact report in every 10-minute bucket.
+	var reports []trace.CrawlRecord
+	for i := 0; i < 6; i++ {
+		at := t0.Add(time.Duration(i)*10*time.Minute + 5*time.Minute)
+		pos, _ := ti.At(at)
+		reports = append(reports, crawlAt(at, pos))
+	}
+	res := Accuracy(ti, reports, 10*time.Minute, 10, t0, t0.Add(time.Hour))
+	if res.Buckets != 6 || res.Hits != 6 {
+		t.Fatalf("result = %+v, want 6/6", res)
+	}
+	if res.Pct() != 100 {
+		t.Errorf("Pct = %v", res.Pct())
+	}
+}
+
+func TestAccuracyNoReports(t *testing.T) {
+	ti := NewTruthIndex(walkFixes(t0, origin, 3.6, time.Hour))
+	res := Accuracy(ti, nil, 10*time.Minute, 100, t0, t0.Add(time.Hour))
+	if res.Buckets != 6 || res.Hits != 0 {
+		t.Fatalf("result = %+v, want 6 buckets 0 hits", res)
+	}
+}
+
+func TestAccuracyRadiusMatters(t *testing.T) {
+	ti := NewTruthIndex(walkFixes(t0, origin, 3.6, time.Hour))
+	// Reports offset 50 m north of the truth.
+	var reports []trace.CrawlRecord
+	for i := 0; i < 6; i++ {
+		at := t0.Add(time.Duration(i)*10*time.Minute + 5*time.Minute)
+		pos, _ := ti.At(at)
+		reports = append(reports, crawlAt(at, geo.Destination(pos, 0, 50)))
+	}
+	tight := Accuracy(ti, reports, 10*time.Minute, 10, t0, t0.Add(time.Hour))
+	loose := Accuracy(ti, reports, 10*time.Minute, 100, t0, t0.Add(time.Hour))
+	if tight.Hits != 0 {
+		t.Errorf("50 m errors hit a 10 m radius: %+v", tight)
+	}
+	if loose.Hits != 6 {
+		t.Errorf("50 m errors should hit a 100 m radius: %+v", loose)
+	}
+}
+
+func TestAccuracyLongerBucketsImprove(t *testing.T) {
+	// A single accurate report per hour: 60-minute buckets hit, 10-minute
+	// buckets mostly miss — the Figure 5a-c responsiveness effect.
+	ti := NewTruthIndex(walkFixes(t0, origin, 3.6, 2*time.Hour))
+	var reports []trace.CrawlRecord
+	for i := 0; i < 2; i++ {
+		at := t0.Add(time.Duration(i)*time.Hour + 30*time.Minute)
+		pos, _ := ti.At(at)
+		reports = append(reports, crawlAt(at, pos))
+	}
+	short := Accuracy(ti, reports, 10*time.Minute, 100, t0, t0.Add(2*time.Hour))
+	long := Accuracy(ti, reports, time.Hour, 100, t0, t0.Add(2*time.Hour))
+	if long.Pct() <= short.Pct() {
+		t.Errorf("longer buckets should help: short %.0f%% long %.0f%%", short.Pct(), long.Pct())
+	}
+	if long.Pct() != 100 {
+		t.Errorf("hourly buckets should all hit: %+v", long)
+	}
+}
+
+func TestAccuracySkipsUncoveredBuckets(t *testing.T) {
+	// Coverage only in the first hour of a two-hour window.
+	ti := NewTruthIndex(walkFixes(t0, origin, 3.6, time.Hour))
+	res := Accuracy(ti, nil, 10*time.Minute, 100, t0, t0.Add(2*time.Hour))
+	// Buckets 7-12 have no ground truth and must not count. The bucket
+	// right after coverage ends still clamps within MaxGap.
+	if res.Buckets < 6 || res.Buckets > 7 {
+		t.Errorf("counted %d buckets, want ~6", res.Buckets)
+	}
+}
+
+func TestAccuracyDegenerateInputs(t *testing.T) {
+	ti := NewTruthIndex(walkFixes(t0, origin, 3.6, time.Hour))
+	if res := Accuracy(ti, nil, 0, 100, t0, t0.Add(time.Hour)); res.Buckets != 0 {
+		t.Error("zero bucket duration must yield nothing")
+	}
+	if res := Accuracy(ti, nil, time.Minute, 100, t0.Add(time.Hour), t0); res.Buckets != 0 {
+		t.Error("inverted window must yield nothing")
+	}
+	if (AccuracyResult{}).Pct() != 0 {
+		t.Error("empty result Pct must be 0")
+	}
+}
+
+func TestDistinctByReportTimeCollapses(t *testing.T) {
+	pos := origin
+	r1 := crawlAt(t0, pos)
+	// Same report observed by the next three crawls (same pos, ~same
+	// reported time reconstructed with up to 1 min error).
+	r2 := r1
+	r2.CrawlT = t0.Add(time.Minute)
+	r2.ReportedAt = t0.Add(30 * time.Second)
+	r3 := r1
+	r3.CrawlT = t0.Add(2 * time.Minute)
+	// New report from the same place later.
+	r4 := crawlAt(t0.Add(30*time.Minute), pos)
+	out := distinctByReportTime([]trace.CrawlRecord{r1, r2, r3, r4})
+	if len(out) != 2 {
+		t.Fatalf("distinct kept %d, want 2", len(out))
+	}
+}
+
+func TestDailyAccuracy(t *testing.T) {
+	// Two days of walking with perfect hourly reports.
+	var fixes []trace.GroundTruth
+	var reports []trace.CrawlRecord
+	for d := 0; d < 2; d++ {
+		day := t0.Add(time.Duration(d) * 24 * time.Hour)
+		// Stop shy of 12:00 so the walk does not lend a sliver of
+		// coverage to a fourth, reportless bucket.
+		fs := walkFixes(day, origin, 3.6, 3*time.Hour-5*time.Minute)
+		fixes = append(fixes, fs...)
+		ti := NewTruthIndex(fs)
+		for h := 0; h < 3; h++ {
+			at := day.Add(time.Duration(h)*time.Hour + 30*time.Minute)
+			pos, _ := ti.At(at)
+			reports = append(reports, crawlAt(at, pos))
+		}
+	}
+	ti := NewTruthIndex(fixes)
+	days := DailyAccuracy(ti, reports, time.Hour, 100, t0, t0.Add(48*time.Hour), 2)
+	if len(days) != 2 {
+		t.Fatalf("got %d daily samples, want 2", len(days))
+	}
+	for _, pct := range days {
+		if math.Abs(pct-100) > 1 {
+			t.Errorf("daily accuracy = %v, want 100", pct)
+		}
+	}
+}
+
+func TestAccuracyByClass(t *testing.T) {
+	// Walk for an hour (morning), then again in the evening; reports only
+	// during the morning.
+	morning := walkFixes(t0, origin, 3.6, time.Hour) // 09:00
+	evening := walkFixes(time.Date(2022, 3, 7, 19, 0, 0, 0, time.UTC), origin, 3.6, time.Hour)
+	ti := NewTruthIndex(append(append([]trace.GroundTruth{}, morning...), evening...))
+	var reports []trace.CrawlRecord
+	for i := 0; i < 6; i++ {
+		at := t0.Add(time.Duration(i)*10*time.Minute + 5*time.Minute)
+		pos, _ := ti.At(at)
+		reports = append(reports, crawlAt(at, pos))
+	}
+	byClass := AccuracyByClass(ti, reports, 10*time.Minute, 100, t0, t0.Add(12*time.Hour), PeriodClassifier)
+	m := byClass[string(PeriodMorning)]
+	e := byClass[string(PeriodEvening)]
+	if m.Buckets == 0 || e.Buckets == 0 {
+		t.Fatalf("missing classes: %+v", byClass)
+	}
+	if m.Pct() < 99 {
+		t.Errorf("morning accuracy = %.0f, want 100", m.Pct())
+	}
+	if e.Pct() != 0 {
+		t.Errorf("evening accuracy = %.0f, want 0", e.Pct())
+	}
+}
+
+func TestDailyAccuracyByClassWeekday(t *testing.T) {
+	// Monday and Saturday walks, perfect reports both days.
+	var fixes []trace.GroundTruth
+	var reports []trace.CrawlRecord
+	for _, day := range []time.Time{t0, t0.Add(5 * 24 * time.Hour)} { // Mon, Sat
+		fs := walkFixes(day, origin, 3.6, 2*time.Hour)
+		fixes = append(fixes, fs...)
+		ti := NewTruthIndex(fs)
+		for h := 0; h < 2; h++ {
+			at := day.Add(time.Duration(h)*time.Hour + 30*time.Minute)
+			pos, _ := ti.At(at)
+			reports = append(reports, crawlAt(at, pos))
+		}
+	}
+	ti := NewTruthIndex(fixes)
+	byClass := DailyAccuracyByClass(ti, reports, time.Hour, 100, t0, t0.Add(7*24*time.Hour), WeekPartClassifier, 1)
+	if len(byClass[string(Weekday)]) != 1 || len(byClass[string(Weekend)]) != 1 {
+		t.Fatalf("samples = %v", byClass)
+	}
+}
+
+func BenchmarkAccuracy(b *testing.B) {
+	fixes := walkFixes(t0, origin, 3.6, 24*time.Hour)
+	ti := NewTruthIndex(fixes)
+	var reports []trace.CrawlRecord
+	for i := 0; i < 24*6; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		pos, _ := ti.At(at)
+		reports = append(reports, crawlAt(at, geo.Destination(pos, 45, 30)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Accuracy(ti, reports, 10*time.Minute, 100, t0, t0.Add(24*time.Hour))
+	}
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"time"
+
+	"tagsim/internal/mobility"
+)
+
+// DayPeriod is the paper's time-of-day stratification (Figure 5e).
+type DayPeriod string
+
+// Day periods exactly as defined in the paper: morning 6-10, lunch 10-14,
+// afternoon 14-18, evening 18-22, night 22-02. Hours 02-06 are outside
+// every period and excluded from the analysis.
+const (
+	PeriodMorning   DayPeriod = "Morning"
+	PeriodLunch     DayPeriod = "Lunch"
+	PeriodAfternoon DayPeriod = "Afternoon"
+	PeriodEvening   DayPeriod = "Evening"
+	PeriodNight     DayPeriod = "Night"
+)
+
+// DayPeriods lists the periods in figure order.
+var DayPeriods = []DayPeriod{PeriodMorning, PeriodLunch, PeriodAfternoon, PeriodEvening, PeriodNight}
+
+// PeriodOf classifies an instant. ok is false for the 02:00-06:00 gap.
+func PeriodOf(t time.Time) (DayPeriod, bool) {
+	switch h := t.Hour(); {
+	case h >= 6 && h < 10:
+		return PeriodMorning, true
+	case h >= 10 && h < 14:
+		return PeriodLunch, true
+	case h >= 14 && h < 18:
+		return PeriodAfternoon, true
+	case h >= 18 && h < 22:
+		return PeriodEvening, true
+	case h >= 22 || h < 2:
+		return PeriodNight, true
+	default:
+		return "", false
+	}
+}
+
+// WeekPart is the weekday/weekend stratification (Figure 5f).
+type WeekPart string
+
+// Week parts.
+const (
+	Weekday WeekPart = "Weekday"
+	Weekend WeekPart = "Weekend"
+)
+
+// WeekPartOf classifies an instant.
+func WeekPartOf(t time.Time) WeekPart {
+	switch t.Weekday() {
+	case time.Saturday, time.Sunday:
+		return Weekend
+	default:
+		return Weekday
+	}
+}
+
+// PeriodClassifier adapts PeriodOf to the bucket-classifier interface,
+// classifying by the bucket's start.
+func PeriodClassifier(bs, _ time.Time) (string, bool) {
+	p, ok := PeriodOf(bs)
+	return string(p), ok
+}
+
+// WeekPartClassifier adapts WeekPartOf to the bucket-classifier interface.
+func WeekPartClassifier(bs, _ time.Time) (string, bool) {
+	return string(WeekPartOf(bs)), true
+}
+
+// SpeedClassifier builds a bucket classifier that labels each bucket with
+// the vantage point's average speed class over the bucket, as estimated
+// from ground truth (Figure 5d).
+func SpeedClassifier(truth *TruthIndex) BucketClassifier {
+	return func(bs, be time.Time) (string, bool) {
+		kmh, ok := truth.AvgSpeedKmh(bs, be)
+		if !ok {
+			return "", false
+		}
+		return mobility.ClassifySpeed(kmh).String(), true
+	}
+}

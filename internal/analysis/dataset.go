@@ -1,0 +1,263 @@
+// Package analysis implements the paper's measurement methodology — the
+// primary contribution being reproduced: accuracy as hit/miss bucketing of
+// crawled tag locations against vantage-point ground truth, responsiveness
+// as first-hit delay, update rates, home filtering, mobility and temporal
+// classification, and hexagon/population-density joins.
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// Dataset bundles one campaign's collected data: the vantage points'
+// ground truth and each companion-app crawler's records.
+type Dataset struct {
+	GroundTruth []trace.GroundTruth
+	// Crawls maps each vendor's crawler output. VendorCombined is
+	// synthesized by CrawlsFor.
+	Crawls map[trace.Vendor][]trace.CrawlRecord
+}
+
+// NewDataset builds a dataset, sorting everything by time.
+func NewDataset(gt []trace.GroundTruth, crawls map[trace.Vendor][]trace.CrawlRecord) *Dataset {
+	ds := &Dataset{GroundTruth: append([]trace.GroundTruth(nil), gt...), Crawls: make(map[trace.Vendor][]trace.CrawlRecord)}
+	trace.SortByTime(ds.GroundTruth)
+	for v, recs := range crawls {
+		cp := append([]trace.CrawlRecord(nil), recs...)
+		trace.SortByTime(cp)
+		ds.Crawls[v] = cp
+	}
+	return ds
+}
+
+// CrawlsFor returns the crawl records for a vendor. VendorCombined merges
+// the Apple and Samsung records — the paper's emulated unified ecosystem,
+// valid because both tags ride the same vantage point.
+func (ds *Dataset) CrawlsFor(v trace.Vendor) []trace.CrawlRecord {
+	if v != trace.VendorCombined {
+		return ds.Crawls[v]
+	}
+	return trace.Merge(ds.Crawls[trace.VendorApple], ds.Crawls[trace.VendorSamsung])
+}
+
+// TruthIndex answers "where was the vantage point at time t" from the
+// recorded ground truth, interpolating between fixes.
+type TruthIndex struct {
+	fixes []trace.GroundTruth
+	// MaxGap bounds interpolation: instants farther than MaxGap from any
+	// fix have no ground truth (the phone was off or GPS-denied).
+	MaxGap time.Duration
+}
+
+// NewTruthIndex builds an index over time-sorted fixes (sorts a copy).
+func NewTruthIndex(fixes []trace.GroundTruth) *TruthIndex {
+	cp := append([]trace.GroundTruth(nil), fixes...)
+	trace.SortByTime(cp)
+	return &TruthIndex{fixes: cp, MaxGap: 3 * time.Minute}
+}
+
+// Len returns the number of fixes.
+func (ti *TruthIndex) Len() int { return len(ti.fixes) }
+
+// Span returns the time range covered by the fixes.
+func (ti *TruthIndex) Span() (from, to time.Time, ok bool) {
+	if len(ti.fixes) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return ti.fixes[0].T, ti.fixes[len(ti.fixes)-1].T, true
+}
+
+// At returns the vantage point's position at time t, interpolating between
+// the bracketing fixes. ok is false when t falls in a coverage gap.
+func (ti *TruthIndex) At(t time.Time) (geo.LatLon, bool) {
+	n := len(ti.fixes)
+	if n == 0 {
+		return geo.LatLon{}, false
+	}
+	i := sort.Search(n, func(k int) bool { return !ti.fixes[k].T.Before(t) })
+	switch {
+	case i == 0:
+		if ti.fixes[0].T.Sub(t) > ti.MaxGap {
+			return geo.LatLon{}, false
+		}
+		return ti.fixes[0].Pos, true
+	case i == n:
+		if t.Sub(ti.fixes[n-1].T) > ti.MaxGap {
+			return geo.LatLon{}, false
+		}
+		return ti.fixes[n-1].Pos, true
+	}
+	prev, next := ti.fixes[i-1], ti.fixes[i]
+	dPrev, dNext := t.Sub(prev.T), next.T.Sub(t)
+	gap := next.T.Sub(prev.T)
+	if gap <= ti.MaxGap {
+		// Interpolate along the movement between the fixes.
+		frac := float64(dPrev) / float64(gap)
+		return geo.Lerp(prev.Pos, next.Pos, frac), true
+	}
+	// Large gap: fall back to the nearer fix if it is close enough
+	// (stationary periods record no fixes because only changes are kept).
+	if dPrev <= dNext {
+		if dPrev > ti.MaxGap {
+			return geo.LatLon{}, false
+		}
+		return prev.Pos, true
+	}
+	if dNext > ti.MaxGap {
+		return geo.LatLon{}, false
+	}
+	return next.Pos, true
+}
+
+// HasCoverage reports whether any fix falls within [from, to), or the
+// window is bracketed by fixes at most MaxGap apart (a stationary period).
+func (ti *TruthIndex) HasCoverage(from, to time.Time) bool {
+	n := len(ti.fixes)
+	i := sort.Search(n, func(k int) bool { return !ti.fixes[k].T.Before(from) })
+	if i < n && ti.fixes[i].T.Before(to) {
+		return true
+	}
+	mid := from.Add(to.Sub(from) / 2)
+	_, ok := ti.At(mid)
+	return ok
+}
+
+// AvgSpeedKmh returns the average ground speed over [from, to]: positions
+// are sampled on a one-minute grid and consecutive displacements summed.
+// The coarse grid matters: raw 5-second GPS fixes carry meters of white
+// noise, and summing that jitter would make a stationary vantage point
+// look like a pedestrian (~4 km/h of pure noise). At one-minute spacing
+// the noise floor is ~0.25 km/h, safely under the stationary threshold,
+// while real walking speeds are unaffected. ok is false when the window
+// has no ground-truth coverage.
+func (ti *TruthIndex) AvgSpeedKmh(from, to time.Time) (float64, bool) {
+	if !to.After(from) {
+		return 0, false
+	}
+	const step = time.Minute
+	var dist float64
+	var covered time.Duration
+	var prevPos geo.LatLon
+	prevOK := false
+	for t := from; !t.After(to); t = t.Add(step) {
+		pos, ok := ti.At(t)
+		if ok && prevOK {
+			dist += geo.Distance(prevPos, pos)
+			covered += step
+		}
+		prevPos, prevOK = pos, ok
+	}
+	if covered == 0 {
+		// Very short windows can fall between grid points; fall back to
+		// direct endpoints.
+		a, okA := ti.At(from)
+		b, okB := ti.At(to)
+		if okA && okB {
+			return geo.MsToKmh(geo.Distance(a, b) / to.Sub(from).Seconds()), true
+		}
+		return 0, false
+	}
+	return geo.MsToKmh(dist / covered.Seconds()), true
+}
+
+// DetectHomes finds the participant's overnight locations (homes, hotels —
+// "any place they slept overnight"): positions observed during the
+// overnight window (00:00-06:00), clustered within clusterRadiusM, kept
+// only when the cluster accumulates at least 30 minutes of overnight
+// presence. The dwell requirement separates sleeping places from clusters
+// a midnight walk home would otherwise scatter along the route.
+func DetectHomes(fixes []trace.GroundTruth, clusterRadiusM float64) []geo.LatLon {
+	if clusterRadiusM <= 0 {
+		clusterRadiusM = 300
+	}
+	const minDwell = 30 * time.Minute
+	type cluster struct {
+		anchor geo.LatLon
+		dwell  time.Duration
+		lastAt time.Time
+	}
+	var clusters []*cluster
+	for _, f := range fixes {
+		h := f.T.UTC().Hour()
+		if h >= 6 {
+			continue
+		}
+		placed := false
+		for _, c := range clusters {
+			if geo.Distance(c.anchor, f.Pos) <= clusterRadiusM {
+				gap := f.T.Sub(c.lastAt)
+				if gap > 0 && gap <= 10*time.Minute {
+					// Contiguous presence (stationary periods record
+					// sparse fixes, so allow generous gaps).
+					c.dwell += gap
+				}
+				c.lastAt = f.T
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{anchor: f.Pos, lastAt: f.T})
+		}
+	}
+	var homes []geo.LatLon
+	for _, c := range clusters {
+		if c.dwell >= minDwell {
+			homes = append(homes, c.anchor)
+		}
+	}
+	return homes
+}
+
+// FilterNearHomes drops fixes within radiusM of any home, returning the
+// kept fixes and the fraction removed (the paper filtered 65% of its data
+// this way, with a 300 m radius).
+func FilterNearHomes(fixes []trace.GroundTruth, homes []geo.LatLon, radiusM float64) (kept []trace.GroundTruth, removedFrac float64) {
+	if radiusM <= 0 {
+		radiusM = 300
+	}
+	if len(homes) == 0 {
+		return fixes, 0
+	}
+	kept = make([]trace.GroundTruth, 0, len(fixes))
+	for _, f := range fixes {
+		near := false
+		for _, h := range homes {
+			if geo.Distance(f.Pos, h) <= radiusM {
+				near = true
+				break
+			}
+		}
+		if !near {
+			kept = append(kept, f)
+		}
+	}
+	if len(fixes) == 0 {
+		return kept, 0
+	}
+	return kept, float64(len(fixes)-len(kept)) / float64(len(fixes))
+}
+
+// FilterCrawlsNearHomes applies the same home filter to crawl records (a
+// neighbor's phone repeatedly reporting the tag at home would bias
+// accuracy upward).
+func FilterCrawlsNearHomes(records []trace.CrawlRecord, homes []geo.LatLon, radiusM float64) []trace.CrawlRecord {
+	if radiusM <= 0 {
+		radiusM = 300
+	}
+	if len(homes) == 0 {
+		return records
+	}
+	return trace.Filter(records, func(r trace.CrawlRecord) bool {
+		for _, h := range homes {
+			if geo.Distance(r.Pos, h) <= radiusM {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// randomReports fabricates crawled reports scattered around a walk.
+func randomReports(rng *rand.Rand, ti *TruthIndex, n int, maxErrM float64, from time.Time, span time.Duration) []trace.CrawlRecord {
+	var out []trace.CrawlRecord
+	for i := 0; i < n; i++ {
+		at := from.Add(time.Duration(rng.Int63n(int64(span))))
+		pos, ok := ti.At(at)
+		if !ok {
+			continue
+		}
+		out = append(out, trace.CrawlRecord{
+			CrawlT:     at.Add(time.Minute),
+			TagID:      "tag",
+			Pos:        geo.Destination(pos, rng.Float64()*360, rng.Float64()*maxErrM),
+			ReportedAt: at,
+		})
+	}
+	return out
+}
+
+// TestAccuracyMonotoneInRadius: widening the radius can never lose hits.
+func TestAccuracyMonotoneInRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	fixes := walkFixes(t0, origin, 4, 4*time.Hour)
+	ti := NewTruthIndex(fixes)
+	reports := randomReports(rng, ti, 60, 300, t0, 4*time.Hour)
+	prev := -1
+	for _, radius := range []float64{5, 10, 25, 50, 100, 200, 400} {
+		res := Accuracy(ti, reports, 10*time.Minute, radius, t0, t0.Add(4*time.Hour))
+		if res.Hits < prev {
+			t.Fatalf("hits decreased at radius %.0f", radius)
+		}
+		prev = res.Hits
+	}
+}
+
+// TestAccuracyMonotoneInBucket: longer buckets can never lower the hit
+// fraction below what strictly shorter buckets achieve in aggregate...
+// not exactly — but total hits per covered time must not decrease when
+// buckets merge reports. We assert the weaker, always-true invariant:
+// accuracy with an X-minute bucket is <= accuracy with a 2X bucket when
+// every bucket boundary aligns (each merged bucket hits if either half
+// hit).
+func TestAccuracyMonotoneInBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	fixes := walkFixes(t0, origin, 4, 8*time.Hour)
+	ti := NewTruthIndex(fixes)
+	reports := randomReports(rng, ti, 40, 150, t0, 8*time.Hour)
+	for _, m := range []int{5, 10, 15, 30, 60} {
+		short := Accuracy(ti, reports, time.Duration(m)*time.Minute, 100, t0, t0.Add(8*time.Hour))
+		long := Accuracy(ti, reports, time.Duration(2*m)*time.Minute, 100, t0, t0.Add(8*time.Hour))
+		if long.Pct() < short.Pct()-1e-9 {
+			t.Fatalf("doubling the bucket from %d min lowered accuracy: %.2f -> %.2f", m, short.Pct(), long.Pct())
+		}
+	}
+}
+
+// TestAccuracyBoundedByReportQuality: with all reports farther than the
+// radius, accuracy is zero; with all exact, accuracy equals coverage of
+// buckets that contain a report.
+func TestAccuracyBoundedByReportQuality(t *testing.T) {
+	fixes := walkFixes(t0, origin, 4, 2*time.Hour)
+	ti := NewTruthIndex(fixes)
+	var farReports, exactReports []trace.CrawlRecord
+	for i := 0; i < 12; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		pos, _ := ti.At(at)
+		farReports = append(farReports, trace.CrawlRecord{
+			CrawlT: at, TagID: "tag", Pos: geo.Destination(pos, 0, 5000), ReportedAt: at,
+		})
+		exactReports = append(exactReports, trace.CrawlRecord{
+			CrawlT: at, TagID: "tag", Pos: pos, ReportedAt: at,
+		})
+	}
+	if res := Accuracy(ti, farReports, 10*time.Minute, 100, t0, t0.Add(2*time.Hour)); res.Hits != 0 {
+		t.Errorf("5 km errors produced %d hits at 100 m", res.Hits)
+	}
+	res := Accuracy(ti, exactReports, 10*time.Minute, 100, t0, t0.Add(2*time.Hour))
+	if res.Hits != res.Buckets {
+		t.Errorf("exact reports: %d/%d", res.Hits, res.Buckets)
+	}
+}
+
+// TestHomeFilterIdempotent: filtering twice equals filtering once.
+func TestHomeFilterIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var fixes []trace.GroundTruth
+	for i := 0; i < 500; i++ {
+		fixes = append(fixes, trace.GroundTruth{
+			T:   t0.Add(time.Duration(i) * time.Minute),
+			Pos: geo.Destination(origin, rng.Float64()*360, rng.Float64()*2000),
+		})
+	}
+	homes := []geo.LatLon{origin, geo.Destination(origin, 90, 1500)}
+	once, _ := FilterNearHomes(fixes, homes, 300)
+	twice, frac := FilterNearHomes(once, homes, 300)
+	if len(once) != len(twice) || frac != 0 {
+		t.Errorf("second filter removed %d fixes (%.2f)", len(once)-len(twice), frac)
+	}
+}
+
+// TestEpisodesCoverOrderedTime: episodes are disjoint and time-ordered.
+func TestEpisodesCoverOrderedTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	var fixes []trace.GroundTruth
+	cur := origin
+	at := t0
+	for hop := 0; hop < 8; hop++ {
+		dwell := 6 + rng.Intn(20) // minutes
+		for i := 0; i < dwell*12; i++ {
+			fixes = append(fixes, trace.GroundTruth{T: at, Pos: cur})
+			at = at.Add(5 * time.Second)
+		}
+		cur = geo.Destination(cur, rng.Float64()*360, 200+rng.Float64()*500)
+	}
+	eps := Episodes(fixes, 25, 5*time.Minute)
+	if len(eps) < 6 {
+		t.Fatalf("found %d episodes", len(eps))
+	}
+	for i := 1; i < len(eps); i++ {
+		if eps[i].Start.Before(eps[i-1].End) {
+			t.Fatal("episodes overlap or are out of order")
+		}
+	}
+}
+
+// TestHexVisitsTotalDwellBounded: total dwell can never exceed the trace
+// duration.
+func TestHexVisitsTotalDwellBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	var fixes []trace.GroundTruth
+	at := t0
+	pos := origin
+	for i := 0; i < 2000; i++ {
+		fixes = append(fixes, trace.GroundTruth{T: at, Pos: pos})
+		at = at.Add(15 * time.Second)
+		if rng.Float64() < 0.02 {
+			pos = geo.Destination(pos, rng.Float64()*360, 300+rng.Float64()*800)
+		}
+	}
+	span := fixes[len(fixes)-1].T.Sub(fixes[0].T)
+	visits := HexVisits(fixes, 8, 5*time.Minute, 5*time.Minute)
+	var total time.Duration
+	for _, v := range visits {
+		total += v.Duration()
+	}
+	if total > span {
+		t.Fatalf("dwell %v exceeds trace span %v", total, span)
+	}
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"sort"
+	"time"
+
+	"tagsim/internal/stats"
+	"tagsim/internal/trace"
+)
+
+// HourlyUpdateCounts counts accepted cloud reports per wall-clock hour.
+func HourlyUpdateCounts(history []trace.Report) map[time.Time]int {
+	out := make(map[time.Time]int)
+	for _, r := range history {
+		out[r.T.UTC().Truncate(time.Hour)]++
+	}
+	return out
+}
+
+// HourOfDayRate is one row of Figure 3: a tag's update rate and the
+// companion device count at one hour of the day, averaged across days.
+type HourOfDayRate struct {
+	Hour        int
+	MeanRate    float64 // updates per hour
+	StdRate     float64
+	MeanDevices float64 // reporting-capable devices present
+	StdDevices  float64
+}
+
+// UpdateRateByHourOfDay averages per-hour update counts and device counts
+// across days, producing Figure 3's series. Hours with no device-count
+// sample contribute a zero device count.
+func UpdateRateByHourOfDay(history []trace.Report, counts []trace.DeviceCount, deviceCountOf func(trace.DeviceCount) int, from, to time.Time) []HourOfDayRate {
+	updates := HourlyUpdateCounts(history)
+	countAt := make(map[time.Time]int, len(counts))
+	for _, c := range counts {
+		countAt[c.T.UTC().Truncate(time.Hour)] = deviceCountOf(c)
+	}
+	rates := make(map[int][]float64)
+	devs := make(map[int][]float64)
+	for h := from.UTC().Truncate(time.Hour); h.Before(to); h = h.Add(time.Hour) {
+		hod := h.Hour()
+		rates[hod] = append(rates[hod], float64(updates[h]))
+		devs[hod] = append(devs[hod], float64(countAt[h]))
+	}
+	out := make([]HourOfDayRate, 0, 24)
+	for hod := 0; hod < 24; hod++ {
+		if len(rates[hod]) == 0 {
+			continue
+		}
+		row := HourOfDayRate{
+			Hour:        hod,
+			MeanRate:    stats.Mean(rates[hod]),
+			MeanDevices: stats.Mean(devs[hod]),
+		}
+		if len(rates[hod]) > 1 {
+			row.StdRate = stats.StdDev(rates[hod])
+			row.StdDevices = stats.StdDev(devs[hod])
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// RateBucket is one bar of Figure 4: for hours in which N reporting
+// devices were present (N in [MinDevices, MaxDevices]), the likelihood of
+// such an hour and the mean update rate achieved.
+type RateBucket struct {
+	MinDevices, MaxDevices int
+	Likelihood             float64 // fraction of observed hours in this bucket
+	MeanRate               float64 // mean updates/hour
+	StdRate                float64
+	Hours                  int
+}
+
+// UpdateRateVsDevices joins hourly update counts with hourly device counts
+// and buckets by device count in steps of width (Figure 4; the paper uses
+// width 10: "up to 10", "11-20", ...). Hours with zero devices are
+// excluded, matching the paper's x-axis which starts at 1.
+func UpdateRateVsDevices(history []trace.Report, counts []trace.DeviceCount, deviceCountOf func(trace.DeviceCount) int, width int) []RateBucket {
+	if width <= 0 {
+		width = 10
+	}
+	updates := HourlyUpdateCounts(history)
+	type sample struct {
+		devices int
+		rate    float64
+	}
+	var samples []sample
+	for _, c := range counts {
+		n := deviceCountOf(c)
+		if n <= 0 {
+			continue
+		}
+		hour := c.T.UTC().Truncate(time.Hour)
+		samples = append(samples, sample{devices: n, rate: float64(updates[hour])})
+	}
+	if len(samples) == 0 {
+		return nil
+	}
+	byBucket := make(map[int][]float64)
+	for _, s := range samples {
+		b := (s.devices - 1) / width
+		byBucket[b] = append(byBucket[b], s.rate)
+	}
+	buckets := make([]int, 0, len(byBucket))
+	for b := range byBucket {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	out := make([]RateBucket, 0, len(buckets))
+	for _, b := range buckets {
+		rs := byBucket[b]
+		rb := RateBucket{
+			MinDevices: b*width + 1,
+			MaxDevices: (b + 1) * width,
+			Likelihood: float64(len(rs)) / float64(len(samples)),
+			MeanRate:   stats.Mean(rs),
+			Hours:      len(rs),
+		}
+		if len(rs) > 1 {
+			rb.StdRate = stats.StdDev(rs)
+		}
+		out = append(out, rb)
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Package antistalk implements the anti-stalking detectors the paper's
+// related-work section discusses, and evaluates them against the tags'
+// MAC randomization — the mechanism that makes third-party scanner apps
+// "only partially effective" because a rotating tag eventually looks like
+// a new device.
+//
+// Two detector families are modeled:
+//
+//   - VendorDetector: the built-in protection (Apple/Samsung alert their
+//     own users when an unknown same-vendor tag travels with them for an
+//     extended period).
+//   - AirGuardDetector: the Heinrich et al. design — alert when the same
+//     identifier is observed in three or more distinct locations within
+//     24 hours.
+//
+// Both key observations by advertising address, so their recall collapses
+// when the tag's rotation period is shorter than the detection horizon.
+package antistalk
+
+import (
+	"time"
+
+	"tagsim/internal/ble"
+	"tagsim/internal/geo"
+)
+
+// Observation is one beacon sighting by the victim's phone: the scanner
+// saw address Addr at time T while the victim was at Pos.
+type Observation struct {
+	T    time.Time
+	Addr ble.AdvAddress
+	Pos  geo.LatLon
+	RSSI float64
+	// SameVendor reports whether the victim's phone and the tag share an
+	// ecosystem (the built-in detectors only see same-vendor tags).
+	SameVendor bool
+}
+
+// Alert is a raised stalking warning.
+type Alert struct {
+	T    time.Time
+	Addr ble.AdvAddress
+	// Detector names which detector fired.
+	Detector string
+}
+
+// Detector consumes observations in time order and raises alerts.
+type Detector interface {
+	// Observe processes one sighting, returning an alert if one fires
+	// now (at most one per address).
+	Observe(obs Observation) (Alert, bool)
+	// Name identifies the detector in results.
+	Name() string
+}
+
+// VendorDetector models the built-in protections: it alerts when an
+// unknown same-vendor tag has been sighted over a span of at least
+// FollowDuration while the victim moved at least MinTravelM between
+// sightings (a tag sitting near a stationary user is a neighbor's, not a
+// stalker's).
+type VendorDetector struct {
+	// FollowDuration is how long a tag must follow before alerting
+	// (the real systems wait hours; default 4h).
+	FollowDuration time.Duration
+	// MinTravelM is the minimum victim displacement across the
+	// observation span (default 400 m).
+	MinTravelM float64
+
+	state map[ble.AdvAddress]*followState
+}
+
+type followState struct {
+	first    Observation
+	traveled float64
+	lastPos  geo.LatLon
+	alerted  bool
+}
+
+// NewVendorDetector returns the built-in detector with default settings.
+func NewVendorDetector() *VendorDetector {
+	return &VendorDetector{
+		FollowDuration: 4 * time.Hour,
+		MinTravelM:     400,
+		state:          make(map[ble.AdvAddress]*followState),
+	}
+}
+
+// Name implements Detector.
+func (d *VendorDetector) Name() string { return "vendor" }
+
+// Observe implements Detector.
+func (d *VendorDetector) Observe(obs Observation) (Alert, bool) {
+	if !obs.SameVendor {
+		// Cross-ecosystem tags are invisible to the built-in detectors -
+		// the asymmetry the paper calls out (an AirTag can stalk a
+		// Samsung user undetected and vice-versa).
+		return Alert{}, false
+	}
+	st, ok := d.state[obs.Addr]
+	if !ok {
+		st = &followState{first: obs, lastPos: obs.Pos}
+		d.state[obs.Addr] = st
+		return Alert{}, false
+	}
+	if st.alerted {
+		return Alert{}, false
+	}
+	st.traveled += geo.Distance(st.lastPos, obs.Pos)
+	st.lastPos = obs.Pos
+	if obs.T.Sub(st.first.T) >= d.FollowDuration && st.traveled >= d.MinTravelM {
+		st.alerted = true
+		return Alert{T: obs.T, Addr: obs.Addr, Detector: d.Name()}, true
+	}
+	return Alert{}, false
+}
+
+// AirGuardDetector models the Heinrich et al. third-party scanner: it
+// alerts when one address is sighted in at least MinLocations locations
+// pairwise at least LocationSepM apart within a Window. Unlike the
+// built-in detectors it sees every tag, not just same-vendor ones.
+type AirGuardDetector struct {
+	// MinLocations is the distinct-location threshold (default 3).
+	MinLocations int
+	// LocationSepM separates "different locations" (default 200 m).
+	LocationSepM float64
+	// Window bounds the sighting history considered (default 24 h).
+	Window time.Duration
+	// MinSpan is the minimum time between the oldest and newest distinct
+	// place before alerting (default 1 h) — the risk-scoring element
+	// that stops a single drive past three blocks from firing.
+	MinSpan time.Duration
+
+	state map[ble.AdvAddress]*sightings
+}
+
+type sightings struct {
+	places  []Observation // one representative per distinct place
+	alerted bool
+}
+
+// NewAirGuardDetector returns the detector with the published defaults.
+func NewAirGuardDetector() *AirGuardDetector {
+	return &AirGuardDetector{
+		MinLocations: 3,
+		LocationSepM: 200,
+		Window:       24 * time.Hour,
+		MinSpan:      time.Hour,
+		state:        make(map[ble.AdvAddress]*sightings),
+	}
+}
+
+// Name implements Detector.
+func (d *AirGuardDetector) Name() string { return "airguard" }
+
+// Observe implements Detector.
+func (d *AirGuardDetector) Observe(obs Observation) (Alert, bool) {
+	st, ok := d.state[obs.Addr]
+	if !ok {
+		st = &sightings{}
+		d.state[obs.Addr] = st
+	}
+	if st.alerted {
+		return Alert{}, false
+	}
+	// Evict places that slid out of the window.
+	kept := st.places[:0]
+	for _, p := range st.places {
+		if obs.T.Sub(p.T) <= d.Window {
+			kept = append(kept, p)
+		}
+	}
+	st.places = kept
+	// New distinct place?
+	distinct := true
+	for _, p := range st.places {
+		if geo.Distance(p.Pos, obs.Pos) < d.LocationSepM {
+			distinct = false
+			break
+		}
+	}
+	if distinct {
+		st.places = append(st.places, obs)
+	}
+	if len(st.places) >= d.MinLocations &&
+		obs.T.Sub(st.places[0].T) >= d.MinSpan {
+		st.alerted = true
+		return Alert{T: obs.T, Addr: obs.Addr, Detector: d.Name()}, true
+	}
+	return Alert{}, false
+}
+
+// RunDetector feeds a time-sorted observation stream through a detector
+// and returns every alert.
+func RunDetector(d Detector, stream []Observation) []Alert {
+	var out []Alert
+	for _, obs := range stream {
+		if a, ok := d.Observe(obs); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Outcome summarizes one detection evaluation.
+type Outcome struct {
+	Detector string
+	Detected bool
+	// Latency is the time from the first observation to the alert.
+	Latency time.Duration
+	// AddressesSeen is how many distinct pseudonyms the stream showed —
+	// the fragmentation MAC randomization causes.
+	AddressesSeen int
+}
+
+// Evaluate runs a detector over the stream and summarizes.
+func Evaluate(d Detector, stream []Observation) Outcome {
+	out := Outcome{Detector: d.Name()}
+	addrs := make(map[ble.AdvAddress]bool)
+	for _, obs := range stream {
+		addrs[obs.Addr] = true
+	}
+	out.AddressesSeen = len(addrs)
+	alerts := RunDetector(d, stream)
+	if len(alerts) > 0 && len(stream) > 0 {
+		out.Detected = true
+		out.Latency = alerts[0].T.Sub(stream[0].T)
+	}
+	return out
+}

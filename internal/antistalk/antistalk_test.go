@@ -1,0 +1,202 @@
+package antistalk
+
+import (
+	"testing"
+	"time"
+
+	"tagsim/internal/ble"
+	"tagsim/internal/geo"
+	"tagsim/internal/mobility"
+	"tagsim/internal/tagkeys"
+)
+
+var (
+	t0   = time.Date(2022, 3, 7, 8, 0, 0, 0, time.UTC)
+	home = geo.LatLon{Lat: 24.4539, Lon: 54.3773}
+)
+
+// fixedAddrStream builds observations of a non-rotating tag following a
+// moving victim.
+func fixedAddrStream(hours int, sameVendor bool) []Observation {
+	addr := ble.AdvAddress{0xC0, 1, 2, 3, 4, 5}
+	var out []Observation
+	for i := 0; i < hours*60; i++ {
+		at := t0.Add(time.Duration(i) * time.Minute)
+		// Victim walks a slow loop: 3 km/h around a 2 km circuit.
+		pos := geo.Destination(home, float64(i%360), float64(500+i%1500))
+		out = append(out, Observation{T: at, Addr: addr, Pos: pos, RSSI: -55, SameVendor: sameVendor})
+	}
+	return out
+}
+
+func TestVendorDetectorFiresOnPersistentTag(t *testing.T) {
+	d := NewVendorDetector()
+	alerts := RunDetector(d, fixedAddrStream(8, true))
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want exactly 1", len(alerts))
+	}
+	if got := alerts[0].T.Sub(t0); got < d.FollowDuration {
+		t.Errorf("alert after %v, must wait at least %v", got, d.FollowDuration)
+	}
+	if alerts[0].Detector != "vendor" {
+		t.Error("wrong detector name")
+	}
+}
+
+func TestVendorDetectorIgnoresCrossVendor(t *testing.T) {
+	// The paper: "an AirTag could be used to stalk Samsung users and
+	// vice-versa" — the built-in detector is blind across ecosystems.
+	alerts := RunDetector(NewVendorDetector(), fixedAddrStream(24, false))
+	if len(alerts) != 0 {
+		t.Fatal("vendor detector must ignore cross-vendor tags")
+	}
+}
+
+func TestVendorDetectorIgnoresStationaryNeighbors(t *testing.T) {
+	// A same-vendor tag that never travels (a neighbor's) must not fire.
+	addr := ble.AdvAddress{0xC0, 9, 9, 9, 9, 9}
+	var stream []Observation
+	for i := 0; i < 10*60; i++ {
+		stream = append(stream, Observation{
+			T: t0.Add(time.Duration(i) * time.Minute), Addr: addr, Pos: home, SameVendor: true,
+		})
+	}
+	if alerts := RunDetector(NewVendorDetector(), stream); len(alerts) != 0 {
+		t.Fatal("stationary tag must not alert")
+	}
+}
+
+func TestAirGuardFiresOnThreeLocations(t *testing.T) {
+	addr := ble.AdvAddress{0xC0, 7, 7, 7, 7, 7}
+	places := []geo.LatLon{
+		home,
+		geo.Destination(home, 90, 500),
+		geo.Destination(home, 180, 700),
+	}
+	var stream []Observation
+	for i, p := range places {
+		stream = append(stream, Observation{T: t0.Add(time.Duration(i) * time.Hour), Addr: addr, Pos: p})
+	}
+	alerts := RunDetector(NewAirGuardDetector(), stream)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %d, want 1", len(alerts))
+	}
+	// Third distinct location triggers it.
+	if !alerts[0].T.Equal(stream[2].T) {
+		t.Errorf("alert at %v, want at third sighting", alerts[0].T)
+	}
+}
+
+func TestAirGuardNeedsDistinctLocations(t *testing.T) {
+	addr := ble.AdvAddress{0xC0, 6, 6, 6, 6, 6}
+	var stream []Observation
+	// Many sightings, all within 200 m of each other.
+	for i := 0; i < 100; i++ {
+		stream = append(stream, Observation{
+			T: t0.Add(time.Duration(i) * 10 * time.Minute), Addr: addr,
+			Pos: geo.Destination(home, float64(i*37), 80),
+		})
+	}
+	if alerts := RunDetector(NewAirGuardDetector(), stream); len(alerts) != 0 {
+		t.Fatal("one neighborhood must not alert")
+	}
+}
+
+func TestAirGuardWindowEviction(t *testing.T) {
+	addr := ble.AdvAddress{0xC0, 5, 5, 5, 5, 5}
+	// Two distinct places today, a third 30 hours later: outside the
+	// 24 h window, so no alert.
+	stream := []Observation{
+		{T: t0, Addr: addr, Pos: home},
+		{T: t0.Add(time.Hour), Addr: addr, Pos: geo.Destination(home, 90, 500)},
+		{T: t0.Add(30 * time.Hour), Addr: addr, Pos: geo.Destination(home, 180, 900)},
+	}
+	if alerts := RunDetector(NewAirGuardDetector(), stream); len(alerts) != 0 {
+		t.Fatal("stale sightings must age out")
+	}
+	// But three distinct places within 24 h of each other alert even if
+	// the first pair is older than the pairwise threshold of others.
+	stream2 := []Observation{
+		{T: t0, Addr: addr, Pos: home},
+		{T: t0.Add(time.Hour), Addr: addr, Pos: geo.Destination(home, 90, 500)},
+		{T: t0.Add(20 * time.Hour), Addr: addr, Pos: geo.Destination(home, 180, 900)},
+	}
+	if alerts := RunDetector(NewAirGuardDetector(), stream2); len(alerts) != 1 {
+		t.Fatal("in-window distinct places must alert")
+	}
+}
+
+func TestAirGuardSeesCrossVendor(t *testing.T) {
+	stream := fixedAddrStream(24, false) // cross-vendor
+	if alerts := RunDetector(NewAirGuardDetector(), stream); len(alerts) == 0 {
+		t.Fatal("third-party scanner must see cross-vendor tags")
+	}
+}
+
+func TestRotationDefeatsDetectors(t *testing.T) {
+	// With 15-minute rotation (SmartTag-style), each pseudonym lives far
+	// too briefly for either detector.
+	sweep := RotationSweep(3, 24*time.Hour, []time.Duration{
+		tagkeys.SmartTagRotation,   // 15 min
+		tagkeys.AirTagSeparatedRotation, // 24 h
+	})
+	fast, slow := sweep[0], sweep[1]
+	if fast.Vendor.Detected || fast.AirGuard.Detected {
+		t.Errorf("15-min rotation should defeat both detectors: %+v", fast)
+	}
+	if fast.Vendor.AddressesSeen < 50 {
+		t.Errorf("fast rotation showed only %d pseudonyms", fast.Vendor.AddressesSeen)
+	}
+	// A tag holding one address all day is caught by both.
+	if !slow.Vendor.Detected {
+		t.Error("24-h rotation: vendor detector should fire")
+	}
+	if !slow.AirGuard.Detected {
+		t.Error("24-h rotation: airguard should fire")
+	}
+	if slow.AirGuard.Latency >= slow.Vendor.Latency {
+		t.Errorf("airguard (%v) should beat the built-in detector (%v)", slow.AirGuard.Latency, slow.Vendor.Latency)
+	}
+}
+
+func TestScenarioGenerateDeterministic(t *testing.T) {
+	mk := func() []Observation {
+		return StalkScenario{Seed: 5, Duration: 6 * time.Hour, SameVendor: true}.Generate()
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestScenarioCustomMobility(t *testing.T) {
+	s := StalkScenario{
+		Seed: 1, Duration: 2 * time.Hour, SameVendor: true,
+		Mobility: mobility.Stationary(home),
+	}
+	stream := s.Generate()
+	if len(stream) < 100 {
+		t.Fatalf("stream too short: %d", len(stream))
+	}
+	for _, obs := range stream {
+		if obs.Pos != home {
+			t.Fatal("custom mobility ignored")
+		}
+	}
+}
+
+func BenchmarkAirGuardObserve(b *testing.B) {
+	stream := fixedAddrStream(24, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewAirGuardDetector()
+		for _, obs := range stream {
+			d.Observe(obs)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package antistalk
+
+import (
+	"math/rand"
+	"time"
+
+	"tagsim/internal/ble"
+	"tagsim/internal/geo"
+	"tagsim/internal/mobility"
+	"tagsim/internal/tag"
+	"tagsim/internal/tagkeys"
+)
+
+// StalkScenario generates the observation stream a victim's phone would
+// collect while carrying a planted tag: the phone scans periodically, the
+// tag beacons with its current (rotating) pseudonym, and the victim moves
+// through the city.
+type StalkScenario struct {
+	Seed int64
+	// Duration of the stalking episode (default 24 h).
+	Duration time.Duration
+	// RotationPeriod overrides the tag's pseudonym rotation (zero keeps
+	// the profile's separated-mode period).
+	RotationPeriod time.Duration
+	// ScanEvery is the victim phone's scan cadence (default 1 min).
+	ScanEvery time.Duration
+	// SameVendor marks whether victim phone and tag share an ecosystem.
+	SameVendor bool
+	// Profile selects the tag model (default AirTag).
+	Profile tag.Profile
+	// Mobility is the victim's movement; nil uses a default daily routine.
+	Mobility mobility.Model
+}
+
+func (s *StalkScenario) defaults() {
+	if s.Duration <= 0 {
+		s.Duration = 24 * time.Hour
+	}
+	if s.ScanEvery <= 0 {
+		s.ScanEvery = time.Minute
+	}
+	if s.Profile.Vendor == 0 && s.Profile.AdvInterval == 0 {
+		s.Profile = tag.AirTagProfile()
+	}
+}
+
+// Generate produces the time-sorted observation stream.
+func (s StalkScenario) Generate() []Observation {
+	s.defaults()
+	start := time.Date(2022, 3, 7, 8, 0, 0, 0, time.UTC)
+	rng := rand.New(rand.NewSource(s.Seed))
+	victim := s.Mobility
+	if victim == nil {
+		home := geo.LatLon{Lat: 24.4539, Lon: 54.3773}
+		victim = mobility.DailyRoutine(rng, mobility.RoutineConfig{
+			Home: home,
+			Work: geo.Destination(home, 60, 4000),
+		}, start, int(s.Duration/(24*time.Hour))+1)
+	}
+	rotation := s.RotationPeriod
+	if rotation <= 0 {
+		rotation = s.Profile.RotationSeparated
+	}
+	chain := tagkeys.New(tagkeys.SecretFromSeed(uint64(s.Seed)+99), start, rotation)
+
+	var out []Observation
+	for el := time.Duration(0); el < s.Duration; el += s.ScanEvery {
+		now := start.Add(el)
+		// The tag rides with the victim: distance ~0-2 m, so essentially
+		// every scan hears a beacon; sample RSSI at contact range.
+		rssi := s.Profile.Channel.SampleRSSI(1, 0, rng)
+		if !ble.DefaultReceiver.Decodes(rssi) {
+			continue
+		}
+		out = append(out, Observation{
+			T:          now,
+			Addr:       chain.IdentityAt(now).Address,
+			Pos:        victim.Pos(now),
+			RSSI:       rssi,
+			SameVendor: s.SameVendor,
+		})
+	}
+	return out
+}
+
+// RotationSweepPoint is one row of the rotation ablation: how each
+// detector fares against a given pseudonym rotation period.
+type RotationSweepPoint struct {
+	Rotation time.Duration
+	Vendor   Outcome
+	AirGuard Outcome
+}
+
+// RotationSweep evaluates both detectors across rotation periods,
+// quantifying how MAC randomization defeats address-keyed detection.
+func RotationSweep(seed int64, duration time.Duration, rotations []time.Duration) []RotationSweepPoint {
+	var out []RotationSweepPoint
+	for _, rot := range rotations {
+		stream := StalkScenario{
+			Seed:           seed,
+			Duration:       duration,
+			RotationPeriod: rot,
+			SameVendor:     true,
+		}.Generate()
+		out = append(out, RotationSweepPoint{
+			Rotation: rot,
+			Vendor:   Evaluate(NewVendorDetector(), stream),
+			AirGuard: Evaluate(NewAirGuardDetector(), stream),
+		})
+	}
+	return out
+}

@@ -1,0 +1,475 @@
+package ble
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+)
+
+// AdvAddress is a BLE advertiser address. It is comparable, so it can be
+// used directly as a map key (the gopacket Endpoint idiom) when grouping
+// beacons by advertiser — which is exactly what third-party scanners do,
+// and what MAC randomization defeats.
+type AdvAddress [6]byte
+
+// String formats the address in the usual colon-separated form.
+func (a AdvAddress) String() string {
+	return fmt.Sprintf("%02X:%02X:%02X:%02X:%02X:%02X", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// IsRandomStatic reports whether the two most significant bits are 11,
+// marking a BLE random static address (what both tags use).
+func (a AdvAddress) IsRandomStatic() bool { return a[0]&0xC0 == 0xC0 }
+
+// RandomStatic draws a fresh random static address.
+func RandomStatic(rng *rand.Rand) AdvAddress {
+	var a AdvAddress
+	for i := range a {
+		a[i] = byte(rng.Intn(256))
+	}
+	a[0] |= 0xC0
+	return a
+}
+
+// AdvPDUType is the 4-bit advertising PDU type.
+type AdvPDUType uint8
+
+// Advertising PDU types from the BLE link-layer specification.
+const (
+	AdvInd        AdvPDUType = 0x0 // connectable scannable undirected
+	AdvDirectInd  AdvPDUType = 0x1
+	AdvNonconnInd AdvPDUType = 0x2 // what location tags emit
+	ScanReq       AdvPDUType = 0x3
+	ScanRsp       AdvPDUType = 0x4
+	ConnectInd    AdvPDUType = 0x5
+	AdvScanInd    AdvPDUType = 0x6
+)
+
+var advPDUTypeNames = map[AdvPDUType]string{
+	AdvInd: "ADV_IND", AdvDirectInd: "ADV_DIRECT_IND", AdvNonconnInd: "ADV_NONCONN_IND",
+	ScanReq: "SCAN_REQ", ScanRsp: "SCAN_RSP", ConnectInd: "CONNECT_IND", AdvScanInd: "ADV_SCAN_IND",
+}
+
+// String names the PDU type.
+func (t AdvPDUType) String() string {
+	if n, ok := advPDUTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("AdvPDUType(0x%X)", uint8(t))
+}
+
+// AdvPDU is the BLE link-layer advertising PDU: a 2-byte header, the
+// advertiser address, and the advertising data payload.
+type AdvPDU struct {
+	Type     AdvPDUType
+	ChSel    bool // channel-selection-algorithm-2 bit
+	TxAdd    bool // advertiser address is random (set by both tags)
+	RxAdd    bool
+	Address  AdvAddress
+	contents []byte
+	payload  []byte
+}
+
+// LayerType implements Layer.
+func (p *AdvPDU) LayerType() LayerType { return LayerTypeAdvPDU }
+
+// LayerContents implements Layer.
+func (p *AdvPDU) LayerContents() []byte { return p.contents }
+
+// LayerPayload implements Layer.
+func (p *AdvPDU) LayerPayload() []byte { return p.payload }
+
+// NextLayerType implements DecodingLayer: advertising data decodes as AD
+// structures.
+func (p *AdvPDU) NextLayerType() LayerType { return LayerTypeADStructures }
+
+// DecodeFromBytes implements DecodingLayer.
+func (p *AdvPDU) DecodeFromBytes(data []byte) error {
+	if len(data) < 8 {
+		return fmt.Errorf("ble: adv PDU too short: %d bytes", len(data))
+	}
+	hdr := data[0]
+	p.Type = AdvPDUType(hdr & 0x0F)
+	p.ChSel = hdr&0x20 != 0
+	p.TxAdd = hdr&0x40 != 0
+	p.RxAdd = hdr&0x80 != 0
+	plen := int(data[1])
+	if plen < 6 {
+		return fmt.Errorf("ble: adv PDU payload length %d < address size", plen)
+	}
+	if len(data) < 2+plen {
+		return fmt.Errorf("ble: adv PDU truncated: have %d, header says %d", len(data)-2, plen)
+	}
+	// Addresses are little-endian on the wire.
+	for i := 0; i < 6; i++ {
+		p.Address[i] = data[2+5-i]
+	}
+	p.contents = data[:8]
+	p.payload = data[8 : 2+plen]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (p *AdvPDU) SerializeTo(b *SerializeBuffer) error {
+	payload := b.Bytes()
+	plen := 6 + len(payload)
+	if plen > 255 {
+		return fmt.Errorf("ble: adv payload %d exceeds 255 bytes", plen)
+	}
+	hdr := b.PrependBytes(8)
+	var h byte = byte(p.Type) & 0x0F
+	if p.ChSel {
+		h |= 0x20
+	}
+	if p.TxAdd {
+		h |= 0x40
+	}
+	if p.RxAdd {
+		h |= 0x80
+	}
+	hdr[0] = h
+	hdr[1] = byte(plen)
+	for i := 0; i < 6; i++ {
+		hdr[2+i] = p.Address[5-i]
+	}
+	return nil
+}
+
+// AD-structure types used by the tags.
+const (
+	ADTypeFlags            = 0x01
+	ADTypeCompleteName     = 0x09
+	ADTypeTxPower          = 0x0A
+	ADTypeServiceData16    = 0x16
+	ADTypeManufacturerData = 0xFF
+)
+
+// Vendor identifiers appearing inside the payloads.
+const (
+	// AppleCompanyID is Apple's Bluetooth SIG company identifier.
+	AppleCompanyID = 0x004C
+	// AppleOfflineFindingType is the Apple manufacturer-data subtype for
+	// offline finding; together with the AD length/type bytes it forms the
+	// "1EFF004C12" prefix the paper uses to spot AirTag beacons.
+	AppleOfflineFindingType = 0x12
+	// SamsungFindUUID is the 16-bit service UUID SmartTags advertise
+	// under.
+	SamsungFindUUID = 0xFD5A
+)
+
+// ADStructure is a single advertising-data TLV.
+type ADStructure struct {
+	Type byte
+	Data []byte
+}
+
+// ADStructures is the advertising-data payload: a sequence of TLVs.
+type ADStructures struct {
+	Structures []ADStructure
+	contents   []byte
+	payload    []byte
+	next       LayerType
+}
+
+// LayerType implements Layer.
+func (a *ADStructures) LayerType() LayerType { return LayerTypeADStructures }
+
+// LayerContents implements Layer.
+func (a *ADStructures) LayerContents() []byte { return a.contents }
+
+// LayerPayload returns the inner bytes of the vendor payload TLV, if one
+// was recognized.
+func (a *ADStructures) LayerPayload() []byte { return a.payload }
+
+// NextLayerType implements DecodingLayer.
+func (a *ADStructures) NextLayerType() LayerType { return a.next }
+
+// DecodeFromBytes implements DecodingLayer.
+func (a *ADStructures) DecodeFromBytes(data []byte) error {
+	a.Structures = a.Structures[:0]
+	a.contents = data
+	a.payload = nil
+	a.next = LayerTypeZero
+	for off := 0; off < len(data); {
+		l := int(data[off])
+		if l == 0 {
+			// Zero-length structure terminates the payload (padding).
+			break
+		}
+		if off+1+l > len(data) {
+			return fmt.Errorf("ble: AD structure at %d overruns payload", off)
+		}
+		s := ADStructure{Type: data[off+1], Data: data[off+2 : off+1+l]}
+		a.Structures = append(a.Structures, s)
+		off += 1 + l
+	}
+	// Recognize a vendor payload to continue decoding into.
+	for _, s := range a.Structures {
+		switch {
+		case s.Type == ADTypeManufacturerData && len(s.Data) >= 3 &&
+			binary.LittleEndian.Uint16(s.Data) == AppleCompanyID &&
+			s.Data[2] == AppleOfflineFindingType:
+			a.payload = s.Data
+			a.next = LayerTypeFindMy
+			return nil
+		case s.Type == ADTypeServiceData16 && len(s.Data) >= 2 &&
+			binary.LittleEndian.Uint16(s.Data) == SamsungFindUUID:
+			a.payload = s.Data
+			a.next = LayerTypeSmartTag
+			return nil
+		}
+	}
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (a *ADStructures) SerializeTo(b *SerializeBuffer) error {
+	total := 0
+	for _, s := range a.Structures {
+		if len(s.Data)+1 > 255 {
+			return fmt.Errorf("ble: AD structure type 0x%02X too long", s.Type)
+		}
+		total += 2 + len(s.Data)
+	}
+	buf := b.PrependBytes(total)
+	off := 0
+	for _, s := range a.Structures {
+		buf[off] = byte(len(s.Data) + 1)
+		buf[off+1] = s.Type
+		copy(buf[off+2:], s.Data)
+		off += 2 + len(s.Data)
+	}
+	return nil
+}
+
+// Lookup returns the first structure of the given AD type.
+func (a *ADStructures) Lookup(adType byte) (ADStructure, bool) {
+	for _, s := range a.Structures {
+		if s.Type == adType {
+			return s, true
+		}
+	}
+	return ADStructure{}, false
+}
+
+// LocalName returns the complete local name TLV, if present (SmartTag scan
+// responses carry the tag's user-visible name, which the paper exploits to
+// identify its own tags).
+func (a *ADStructures) LocalName() (string, bool) {
+	s, ok := a.Lookup(ADTypeCompleteName)
+	if !ok {
+		return "", false
+	}
+	return string(s.Data), true
+}
+
+// FindMyKeyLen is the number of public-key bytes carried in each Apple
+// offline-finding advertisement.
+const FindMyKeyLen = 22
+
+// FindMy is Apple's offline-finding manufacturer payload, the frame that
+// makes an AirTag discoverable by the FindMy network. Field semantics
+// follow the public reverse engineering of the protocol: a status byte
+// (battery + maintained flag), 22 bytes of the rolling public key, the two
+// key bits that do not fit in the randomized address, and a hint byte.
+type FindMy struct {
+	Status    byte
+	PublicKey [FindMyKeyLen]byte
+	KeyBits   byte // bits 6-7 of the full key's first byte
+	Hint      byte
+	contents  []byte
+}
+
+// FindMy status-byte flags.
+const (
+	// FindMyStatusMaintained is set while the tag has seen its owner
+	// recently; separated tags clear it.
+	FindMyStatusMaintained = 0x04
+	// FindMyBatteryFull/Medium/Low/Critical occupy bits 6-7.
+	FindMyBatteryFull     = 0x00
+	FindMyBatteryMedium   = 0x40
+	FindMyBatteryLow      = 0x80
+	FindMyBatteryCritical = 0xC0
+)
+
+// LayerType implements Layer.
+func (f *FindMy) LayerType() LayerType { return LayerTypeFindMy }
+
+// LayerContents implements Layer.
+func (f *FindMy) LayerContents() []byte { return f.contents }
+
+// LayerPayload implements Layer.
+func (f *FindMy) LayerPayload() []byte { return nil }
+
+// NextLayerType implements DecodingLayer.
+func (f *FindMy) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements DecodingLayer. The input is the manufacturer
+// data content: company ID, subtype, length, then the frame.
+func (f *FindMy) DecodeFromBytes(data []byte) error {
+	const frameLen = 25 // status + key + keybits + hint
+	if len(data) < 4+frameLen {
+		return fmt.Errorf("ble: FindMy payload too short: %d bytes", len(data))
+	}
+	if binary.LittleEndian.Uint16(data) != AppleCompanyID {
+		return fmt.Errorf("ble: FindMy company ID 0x%04X", binary.LittleEndian.Uint16(data))
+	}
+	if data[2] != AppleOfflineFindingType {
+		return fmt.Errorf("ble: FindMy subtype 0x%02X", data[2])
+	}
+	if int(data[3]) != frameLen {
+		return fmt.Errorf("ble: FindMy frame length %d, want %d", data[3], frameLen)
+	}
+	f.Status = data[4]
+	copy(f.PublicKey[:], data[5:5+FindMyKeyLen])
+	f.KeyBits = data[5+FindMyKeyLen]
+	f.Hint = data[6+FindMyKeyLen]
+	f.contents = data[:4+frameLen]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (f *FindMy) SerializeTo(b *SerializeBuffer) error {
+	buf := b.PrependBytes(4 + 25)
+	binary.LittleEndian.PutUint16(buf, AppleCompanyID)
+	buf[2] = AppleOfflineFindingType
+	buf[3] = 25
+	buf[4] = f.Status
+	copy(buf[5:], f.PublicKey[:])
+	buf[5+FindMyKeyLen] = f.KeyBits
+	buf[6+FindMyKeyLen] = f.Hint
+	return nil
+}
+
+// BatteryState extracts the battery bits from the status byte.
+func (f *FindMy) BatteryState() byte { return f.Status & 0xC0 }
+
+// Maintained reports whether the owner has seen the tag recently.
+func (f *FindMy) Maintained() bool { return f.Status&FindMyStatusMaintained != 0 }
+
+// SmartTagIDLen is the length of the rolling privacy identifier in a
+// SmartTag advertisement.
+const SmartTagIDLen = 8
+
+// SmartTag is Samsung's tag service payload advertised under the Samsung
+// Find 16-bit service UUID: a version byte, a rolling privacy ID, a 24-bit
+// aging counter, and a flags byte (UWB capability, battery state).
+type SmartTag struct {
+	Version   byte
+	PrivacyID [SmartTagIDLen]byte
+	Aging     uint32 // 24-bit counter, increments every rotation period
+	Flags     byte
+	contents  []byte
+}
+
+// SmartTag flag bits.
+const (
+	// SmartTagFlagUWB marks a SmartTag+ with Ultra Wideband.
+	SmartTagFlagUWB = 0x01
+	// SmartTagFlagLowBattery is set below ~20% charge.
+	SmartTagFlagLowBattery = 0x02
+)
+
+// LayerType implements Layer.
+func (s *SmartTag) LayerType() LayerType { return LayerTypeSmartTag }
+
+// LayerContents implements Layer.
+func (s *SmartTag) LayerContents() []byte { return s.contents }
+
+// LayerPayload implements Layer.
+func (s *SmartTag) LayerPayload() []byte { return nil }
+
+// NextLayerType implements DecodingLayer.
+func (s *SmartTag) NextLayerType() LayerType { return LayerTypeZero }
+
+// DecodeFromBytes implements DecodingLayer. The input is the service-data
+// content: 16-bit UUID then the frame.
+func (s *SmartTag) DecodeFromBytes(data []byte) error {
+	const frameLen = 1 + SmartTagIDLen + 3 + 1
+	if len(data) < 2+frameLen {
+		return fmt.Errorf("ble: SmartTag payload too short: %d bytes", len(data))
+	}
+	if binary.LittleEndian.Uint16(data) != SamsungFindUUID {
+		return fmt.Errorf("ble: SmartTag service UUID 0x%04X", binary.LittleEndian.Uint16(data))
+	}
+	s.Version = data[2]
+	copy(s.PrivacyID[:], data[3:3+SmartTagIDLen])
+	off := 3 + SmartTagIDLen
+	s.Aging = uint32(data[off]) | uint32(data[off+1])<<8 | uint32(data[off+2])<<16
+	s.Flags = data[off+3]
+	s.contents = data[:2+frameLen]
+	return nil
+}
+
+// SerializeTo implements SerializableLayer.
+func (s *SmartTag) SerializeTo(b *SerializeBuffer) error {
+	if s.Aging > 0xFFFFFF {
+		return fmt.Errorf("ble: SmartTag aging counter %d exceeds 24 bits", s.Aging)
+	}
+	buf := b.PrependBytes(2 + 1 + SmartTagIDLen + 3 + 1)
+	binary.LittleEndian.PutUint16(buf, SamsungFindUUID)
+	buf[2] = s.Version
+	copy(buf[3:], s.PrivacyID[:])
+	off := 3 + SmartTagIDLen
+	buf[off] = byte(s.Aging)
+	buf[off+1] = byte(s.Aging >> 8)
+	buf[off+2] = byte(s.Aging >> 16)
+	buf[off+3] = s.Flags
+	return nil
+}
+
+// UWB reports whether the tag advertises Ultra Wideband support.
+func (s *SmartTag) UWB() bool { return s.Flags&SmartTagFlagUWB != 0 }
+
+// BuildAirTagAdv assembles a complete AirTag advertising PDU: an
+// ADV_NONCONN_IND from a random static address carrying the offline-finding
+// manufacturer payload. The first five bytes of the advertising data are
+// the "1E FF 4C 00 12" signature the paper keys on.
+func BuildAirTagAdv(addr AdvAddress, frame FindMy) ([]byte, error) {
+	inner := NewSerializeBuffer()
+	if err := frame.SerializeTo(inner); err != nil {
+		return nil, err
+	}
+	ads := &ADStructures{Structures: []ADStructure{
+		{Type: ADTypeManufacturerData, Data: inner.Bytes()},
+	}}
+	pdu := &AdvPDU{Type: AdvNonconnInd, TxAdd: true, Address: addr}
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, pdu, ads); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// BuildSmartTagAdv assembles a complete SmartTag advertising PDU carrying
+// the Samsung Find service data and, when name is non-empty, the tag's
+// local name (which the paper used to spot its own SmartTags).
+func BuildSmartTagAdv(addr AdvAddress, frame SmartTag, name string) ([]byte, error) {
+	inner := NewSerializeBuffer()
+	if err := frame.SerializeTo(inner); err != nil {
+		return nil, err
+	}
+	structures := []ADStructure{
+		{Type: ADTypeFlags, Data: []byte{0x06}},
+		{Type: ADTypeServiceData16, Data: inner.Bytes()},
+	}
+	if name != "" {
+		structures = append(structures, ADStructure{Type: ADTypeCompleteName, Data: []byte(name)})
+	}
+	ads := &ADStructures{Structures: structures}
+	pdu := &AdvPDU{Type: AdvNonconnInd, TxAdd: true, Address: addr}
+	buf := NewSerializeBuffer()
+	if err := SerializeLayers(buf, pdu, ads); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), buf.Bytes()...), nil
+}
+
+// IsAirTagPrefix reports whether raw advertising data begins with the
+// 5-byte AirTag signature the paper describes ("1EFF004C12"), without a
+// full decode — what a third-party scanner app checks.
+func IsAirTagPrefix(advData []byte) bool {
+	return len(advData) >= 5 &&
+		advData[0] == 0x1E && advData[1] == 0xFF &&
+		advData[2] == 0x4C && advData[3] == 0x00 && advData[4] == 0x12
+}

@@ -1,0 +1,342 @@
+// Package ble implements the Bluetooth Low Energy advertising plane the
+// location tags live on: link-layer advertising PDUs, the AD-structure TLVs
+// they carry, the Apple FindMy and Samsung SmartTag manufacturer payloads,
+// advertiser address randomization, and a calibrated radio propagation
+// model.
+//
+// The decoding API follows the gopacket idiom: raw bytes are decoded into a
+// stack of Layers, either eagerly or on demand, and decode errors surface
+// as an ErrorLayer rather than failing the whole packet. A
+// DecodingParser mirrors gopacket's DecodingLayerParser for allocation-free
+// decoding of known layer stacks, and layers can be serialized back to
+// bytes through a SerializeBuffer.
+package ble
+
+import (
+	"errors"
+	"fmt"
+)
+
+// LayerType identifies a protocol layer within a decoded packet.
+type LayerType int
+
+// Layer types understood by this package.
+const (
+	// LayerTypeZero is the invalid zero layer type.
+	LayerTypeZero LayerType = iota
+	// LayerTypeAdvPDU is the BLE link-layer advertising PDU.
+	LayerTypeAdvPDU
+	// LayerTypeADStructures is the advertising-data TLV sequence.
+	LayerTypeADStructures
+	// LayerTypeFindMy is Apple's offline-finding manufacturer payload.
+	LayerTypeFindMy
+	// LayerTypeSmartTag is Samsung's SmartTag service payload.
+	LayerTypeSmartTag
+	// LayerTypeError holds a decoding failure.
+	LayerTypeError
+)
+
+var layerTypeNames = map[LayerType]string{
+	LayerTypeZero:         "Zero",
+	LayerTypeAdvPDU:       "AdvPDU",
+	LayerTypeADStructures: "ADStructures",
+	LayerTypeFindMy:       "FindMy",
+	LayerTypeSmartTag:     "SmartTag",
+	LayerTypeError:        "DecodeError",
+}
+
+// String returns the layer type name.
+func (t LayerType) String() string {
+	if n, ok := layerTypeNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("LayerType(%d)", int(t))
+}
+
+// Layer is one decoded protocol layer, in the gopacket sense.
+type Layer interface {
+	// LayerType identifies the layer.
+	LayerType() LayerType
+	// LayerContents returns the bytes that make up this layer's header.
+	LayerContents() []byte
+	// LayerPayload returns the bytes this layer carries for the next one.
+	LayerPayload() []byte
+}
+
+// DecodingLayer is a Layer that can decode itself from bytes and name its
+// successor, enabling allocation-free parsing via DecodingParser.
+type DecodingLayer interface {
+	Layer
+	// DecodeFromBytes parses data into the receiver, replacing its state.
+	DecodeFromBytes(data []byte) error
+	// NextLayerType returns the type of the layer carried in the payload,
+	// or LayerTypeZero when this is the last layer.
+	NextLayerType() LayerType
+}
+
+// SerializableLayer is a Layer that can write itself back to bytes.
+type SerializableLayer interface {
+	Layer
+	// SerializeTo prepends this layer's wire form onto the buffer.
+	SerializeTo(b *SerializeBuffer) error
+}
+
+// ErrorLayer records a decode failure; the successfully decoded layers
+// before the failure remain available on the packet.
+type ErrorLayer struct {
+	Err  error
+	Data []byte // the bytes that failed to decode
+}
+
+// LayerType implements Layer.
+func (e *ErrorLayer) LayerType() LayerType { return LayerTypeError }
+
+// LayerContents implements Layer.
+func (e *ErrorLayer) LayerContents() []byte { return e.Data }
+
+// LayerPayload implements Layer.
+func (e *ErrorLayer) LayerPayload() []byte { return nil }
+
+// Error implements the error interface.
+func (e *ErrorLayer) Error() string { return e.Err.Error() }
+
+// DecodeOptions mirrors gopacket's decode flags.
+type DecodeOptions struct {
+	// Lazy defers decoding each layer until it is requested. Lazy packets
+	// are not safe for concurrent use.
+	Lazy bool
+	// NoCopy stores the caller's slice directly instead of copying it.
+	// The caller must not mutate the bytes afterwards.
+	NoCopy bool
+}
+
+// Predefined option sets, as in gopacket.
+var (
+	// Default decodes eagerly from a private copy of the data.
+	Default = DecodeOptions{}
+	// Lazy defers decoding until layers are requested.
+	Lazy = DecodeOptions{Lazy: true}
+	// NoCopy decodes eagerly without copying the input.
+	NoCopy = DecodeOptions{NoCopy: true}
+)
+
+// Packet is a decoded BLE frame: an ordered stack of layers.
+type Packet struct {
+	data    []byte
+	layers  []Layer
+	errLay  *ErrorLayer
+	pending LayerType // next layer to decode when lazy
+	rest    []byte    // undecoded payload when lazy
+	lazy    bool
+}
+
+// NewPacket decodes data starting at the given first layer type.
+// Decode errors do not fail the call; they are exposed via ErrorLayer.
+func NewPacket(data []byte, first LayerType, opts DecodeOptions) *Packet {
+	if !opts.NoCopy {
+		data = append([]byte(nil), data...)
+	}
+	p := &Packet{data: data, pending: first, rest: data, lazy: opts.Lazy}
+	if !opts.Lazy {
+		p.decodeAll()
+	}
+	return p
+}
+
+// decodeOne advances the decode by a single layer, returning false when
+// there is nothing further to decode.
+func (p *Packet) decodeOne() bool {
+	if p.pending == LayerTypeZero || p.errLay != nil {
+		return false
+	}
+	layer, err := decodeLayer(p.pending, p.rest)
+	if err != nil {
+		p.errLay = &ErrorLayer{Err: err, Data: p.rest}
+		p.pending = LayerTypeZero
+		return false
+	}
+	p.layers = append(p.layers, layer)
+	p.rest = layer.LayerPayload()
+	if dl, ok := layer.(DecodingLayer); ok && len(p.rest) > 0 {
+		p.pending = dl.NextLayerType()
+	} else {
+		p.pending = LayerTypeZero
+	}
+	return p.pending != LayerTypeZero
+}
+
+func (p *Packet) decodeAll() {
+	for p.decodeOne() {
+	}
+}
+
+// Layers returns all decoded layers, decoding everything first if lazy.
+func (p *Packet) Layers() []Layer {
+	if p.lazy {
+		p.decodeAll()
+	}
+	return p.layers
+}
+
+// Layer returns the first layer of the given type, or nil. Under Lazy it
+// decodes only as far as needed.
+func (p *Packet) Layer(t LayerType) Layer {
+	for _, l := range p.layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	if !p.lazy {
+		return nil
+	}
+	for p.decodeOne() {
+		last := p.layers[len(p.layers)-1]
+		if last.LayerType() == t {
+			return last
+		}
+	}
+	// decodeOne returning false may still have appended a final layer.
+	if n := len(p.layers); n > 0 && p.layers[n-1].LayerType() == t {
+		return p.layers[n-1]
+	}
+	return nil
+}
+
+// ErrorLayer returns the decode failure, if any (forcing a full decode
+// under Lazy).
+func (p *Packet) ErrorLayer() *ErrorLayer {
+	if p.lazy {
+		p.decodeAll()
+	}
+	return p.errLay
+}
+
+// Data returns the raw bytes the packet was built from.
+func (p *Packet) Data() []byte { return p.data }
+
+// decodeLayer constructs and decodes a fresh layer of the given type.
+func decodeLayer(t LayerType, data []byte) (Layer, error) {
+	var dl DecodingLayer
+	switch t {
+	case LayerTypeAdvPDU:
+		dl = &AdvPDU{}
+	case LayerTypeADStructures:
+		dl = &ADStructures{}
+	case LayerTypeFindMy:
+		dl = &FindMy{}
+	case LayerTypeSmartTag:
+		dl = &SmartTag{}
+	default:
+		return nil, fmt.Errorf("ble: no decoder for %v", t)
+	}
+	if err := dl.DecodeFromBytes(data); err != nil {
+		return nil, err
+	}
+	return dl, nil
+}
+
+// DecodingParser is the allocation-free analogue of
+// gopacket.DecodingLayerParser: it decodes a known stack of layers into
+// caller-owned values.
+type DecodingParser struct {
+	first  LayerType
+	layers map[LayerType]DecodingLayer
+}
+
+// NewDecodingParser builds a parser that starts at first and dispatches
+// into the provided layer values.
+func NewDecodingParser(first LayerType, layers ...DecodingLayer) *DecodingParser {
+	m := make(map[LayerType]DecodingLayer, len(layers))
+	for _, l := range layers {
+		m[l.LayerType()] = l
+	}
+	return &DecodingParser{first: first, layers: m}
+}
+
+// ErrUnsupportedLayer is returned by DecodeLayers when it reaches a layer
+// type it has no registered value for. Decoded prefix layers remain valid.
+var ErrUnsupportedLayer = errors.New("ble: no decoding layer registered for type")
+
+// DecodeLayers decodes data into the registered layer values, appending the
+// decoded types to *decoded (which is reset first).
+func (p *DecodingParser) DecodeLayers(data []byte, decoded *[]LayerType) error {
+	*decoded = (*decoded)[:0]
+	t := p.first
+	for t != LayerTypeZero {
+		dl, ok := p.layers[t]
+		if !ok {
+			return fmt.Errorf("%w: %v", ErrUnsupportedLayer, t)
+		}
+		if err := dl.DecodeFromBytes(data); err != nil {
+			return err
+		}
+		*decoded = append(*decoded, t)
+		data = dl.LayerPayload()
+		if len(data) == 0 {
+			return nil
+		}
+		t = dl.NextLayerType()
+	}
+	return nil
+}
+
+// SerializeBuffer accumulates wire bytes; layers prepend onto it so a
+// packet serializes outside-in, exactly like gopacket.
+type SerializeBuffer struct {
+	buf   []byte
+	start int
+}
+
+// NewSerializeBuffer returns an empty buffer.
+func NewSerializeBuffer() *SerializeBuffer {
+	const initial = 64
+	return &SerializeBuffer{buf: make([]byte, initial), start: initial}
+}
+
+// Bytes returns the serialized bytes accumulated so far.
+func (b *SerializeBuffer) Bytes() []byte { return b.buf[b.start:] }
+
+// PrependBytes makes room for n bytes before the current content and
+// returns the slice to fill in.
+func (b *SerializeBuffer) PrependBytes(n int) []byte {
+	if n < 0 {
+		panic("ble: PrependBytes with negative length")
+	}
+	if b.start < n {
+		grow := n - b.start + len(b.buf)
+		nb := make([]byte, len(b.buf)+grow)
+		copy(nb[grow:], b.buf)
+		b.start += grow
+		b.buf = nb
+	}
+	b.start -= n
+	return b.buf[b.start : b.start+n]
+}
+
+// AppendBytes adds room for n bytes after the current content and returns
+// the slice to fill in.
+func (b *SerializeBuffer) AppendBytes(n int) []byte {
+	if n < 0 {
+		panic("ble: AppendBytes with negative length")
+	}
+	old := len(b.buf)
+	b.buf = append(b.buf, make([]byte, n)...)
+	return b.buf[old : old+n]
+}
+
+// Clear resets the buffer for reuse.
+func (b *SerializeBuffer) Clear() {
+	b.start = len(b.buf)
+}
+
+// SerializeLayers clears the buffer and serializes the layers onto it in
+// order (the first layer ends up outermost).
+func SerializeLayers(b *SerializeBuffer, layers ...SerializableLayer) error {
+	b.Clear()
+	for i := len(layers) - 1; i >= 0; i-- {
+		if err := layers[i].SerializeTo(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

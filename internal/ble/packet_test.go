@@ -1,0 +1,382 @@
+package ble
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testAirTagBytes(t testing.TB) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	frame := FindMy{Status: FindMyStatusMaintained | FindMyBatteryFull, KeyBits: 0x01, Hint: 0x00}
+	for i := range frame.PublicKey {
+		frame.PublicKey[i] = byte(i)
+	}
+	raw, err := BuildAirTagAdv(RandomStatic(rng), frame)
+	if err != nil {
+		t.Fatalf("BuildAirTagAdv: %v", err)
+	}
+	return raw
+}
+
+func testSmartTagBytes(t testing.TB, name string) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	frame := SmartTag{Version: 1, Aging: 0x010203, Flags: SmartTagFlagUWB}
+	for i := range frame.PrivacyID {
+		frame.PrivacyID[i] = byte(0xA0 + i)
+	}
+	raw, err := BuildSmartTagAdv(RandomStatic(rng), frame, name)
+	if err != nil {
+		t.Fatalf("BuildSmartTagAdv: %v", err)
+	}
+	return raw
+}
+
+func TestAirTagRoundTrip(t *testing.T) {
+	raw := testAirTagBytes(t)
+	p := NewPacket(raw, LayerTypeAdvPDU, Default)
+	if e := p.ErrorLayer(); e != nil {
+		t.Fatalf("decode error: %v", e)
+	}
+	adv, ok := p.Layer(LayerTypeAdvPDU).(*AdvPDU)
+	if !ok {
+		t.Fatal("missing AdvPDU layer")
+	}
+	if adv.Type != AdvNonconnInd || !adv.TxAdd {
+		t.Errorf("adv header = %v TxAdd=%v", adv.Type, adv.TxAdd)
+	}
+	if !adv.Address.IsRandomStatic() {
+		t.Error("AirTag address must be random static")
+	}
+	fm, ok := p.Layer(LayerTypeFindMy).(*FindMy)
+	if !ok {
+		t.Fatal("missing FindMy layer")
+	}
+	if !fm.Maintained() {
+		t.Error("maintained flag lost")
+	}
+	if fm.BatteryState() != FindMyBatteryFull {
+		t.Errorf("battery = 0x%02X", fm.BatteryState())
+	}
+	for i, b := range fm.PublicKey {
+		if b != byte(i) {
+			t.Fatalf("public key byte %d = 0x%02X", i, b)
+		}
+	}
+}
+
+func TestAirTagPrefixSignature(t *testing.T) {
+	raw := testAirTagBytes(t)
+	// The paper: AirTag beacons share the first 4 bytes of their header,
+	// "1EFF004C12". Our advertising data starts right after the 2-byte
+	// PDU header and 6-byte address.
+	advData := raw[8:]
+	if !IsAirTagPrefix(advData) {
+		t.Fatalf("advertising data prefix = % X, want 1E FF 00 4C 12 signature", advData[:5])
+	}
+	if IsAirTagPrefix(testSmartTagBytes(t, "x")[8:]) {
+		t.Error("SmartTag adv must not match the AirTag prefix")
+	}
+	if IsAirTagPrefix(nil) {
+		t.Error("empty data must not match")
+	}
+}
+
+func TestSmartTagRoundTrip(t *testing.T) {
+	raw := testSmartTagBytes(t, "rohail's tag")
+	p := NewPacket(raw, LayerTypeAdvPDU, Default)
+	if e := p.ErrorLayer(); e != nil {
+		t.Fatalf("decode error: %v", e)
+	}
+	st, ok := p.Layer(LayerTypeSmartTag).(*SmartTag)
+	if !ok {
+		t.Fatal("missing SmartTag layer")
+	}
+	if st.Aging != 0x010203 {
+		t.Errorf("aging = 0x%06X", st.Aging)
+	}
+	if !st.UWB() {
+		t.Error("UWB flag lost")
+	}
+	ads, ok := p.Layer(LayerTypeADStructures).(*ADStructures)
+	if !ok {
+		t.Fatal("missing ADStructures layer")
+	}
+	name, ok := ads.LocalName()
+	if !ok || name != "rohail's tag" {
+		t.Errorf("local name = %q, %v", name, ok)
+	}
+}
+
+func TestSmartTagWithoutName(t *testing.T) {
+	raw := testSmartTagBytes(t, "")
+	p := NewPacket(raw, LayerTypeAdvPDU, Default)
+	ads := p.Layer(LayerTypeADStructures).(*ADStructures)
+	if _, ok := ads.LocalName(); ok {
+		t.Error("nameless SmartTag adv should have no local name")
+	}
+	if p.Layer(LayerTypeSmartTag) == nil {
+		t.Error("service payload should still decode")
+	}
+}
+
+func TestLazyDecoding(t *testing.T) {
+	raw := testAirTagBytes(t)
+	p := NewPacket(raw, LayerTypeAdvPDU, Lazy)
+	if len(p.layers) != 0 {
+		t.Fatal("lazy packet decoded eagerly")
+	}
+	if p.Layer(LayerTypeAdvPDU) == nil {
+		t.Fatal("lazy Layer(AdvPDU) failed")
+	}
+	if got := len(p.layers); got != 1 {
+		t.Fatalf("lazy decode went too far: %d layers", got)
+	}
+	if p.Layer(LayerTypeFindMy) == nil {
+		t.Fatal("lazy Layer(FindMy) failed")
+	}
+	if got := len(p.Layers()); got != 3 {
+		t.Fatalf("full decode has %d layers, want 3", got)
+	}
+}
+
+func TestNoCopySemantics(t *testing.T) {
+	raw := testAirTagBytes(t)
+	p := NewPacket(raw, LayerTypeAdvPDU, NoCopy)
+	if &p.Data()[0] != &raw[0] {
+		t.Error("NoCopy should retain the caller's slice")
+	}
+	p2 := NewPacket(raw, LayerTypeAdvPDU, Default)
+	if &p2.Data()[0] == &raw[0] {
+		t.Error("Default should copy the input")
+	}
+}
+
+func TestErrorLayerOnTruncation(t *testing.T) {
+	raw := testAirTagBytes(t)
+	// Chop the FindMy frame: AdvPDU still decodes if we fix its length
+	// byte, but the payload is short.
+	trunc := append([]byte(nil), raw[:len(raw)-10]...)
+	trunc[1] = byte(len(trunc) - 2)
+	p := NewPacket(trunc, LayerTypeAdvPDU, Default)
+	if p.ErrorLayer() == nil {
+		t.Fatal("expected an error layer")
+	}
+	if p.Layer(LayerTypeAdvPDU) == nil {
+		t.Error("layers before the failure should survive")
+	}
+	if p.Layer(LayerTypeFindMy) != nil {
+		t.Error("failed layer should not appear")
+	}
+}
+
+func TestErrorLayerTinyPackets(t *testing.T) {
+	for _, data := range [][]byte{nil, {0x42}, {0x42, 0x06, 1, 2, 3, 4}} {
+		p := NewPacket(data, LayerTypeAdvPDU, Default)
+		if p.ErrorLayer() == nil {
+			t.Errorf("packet % X should fail to decode", data)
+		}
+		if p.ErrorLayer().Error() == "" {
+			t.Error("error layer must carry a message")
+		}
+	}
+}
+
+func TestDecodingParser(t *testing.T) {
+	var adv AdvPDU
+	var ads ADStructures
+	var fm FindMy
+	var st SmartTag
+	parser := NewDecodingParser(LayerTypeAdvPDU, &adv, &ads, &fm, &st)
+	decoded := []LayerType{}
+
+	if err := parser.DecodeLayers(testAirTagBytes(t), &decoded); err != nil {
+		t.Fatalf("air tag: %v", err)
+	}
+	want := []LayerType{LayerTypeAdvPDU, LayerTypeADStructures, LayerTypeFindMy}
+	if len(decoded) != len(want) {
+		t.Fatalf("decoded %v", decoded)
+	}
+	for i := range want {
+		if decoded[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", decoded, want)
+		}
+	}
+
+	if err := parser.DecodeLayers(testSmartTagBytes(t, "tag"), &decoded); err != nil {
+		t.Fatalf("smart tag: %v", err)
+	}
+	if decoded[len(decoded)-1] != LayerTypeSmartTag {
+		t.Fatalf("decoded %v, want SmartTag last", decoded)
+	}
+	if st.Aging != 0x010203 {
+		t.Error("parser did not fill the SmartTag value")
+	}
+}
+
+func TestDecodingParserUnsupported(t *testing.T) {
+	var adv AdvPDU
+	var ads ADStructures
+	parser := NewDecodingParser(LayerTypeAdvPDU, &adv, &ads)
+	decoded := []LayerType{}
+	err := parser.DecodeLayers(testAirTagBytes(t), &decoded)
+	if err == nil {
+		t.Fatal("expected ErrUnsupportedLayer")
+	}
+	if len(decoded) != 2 {
+		t.Errorf("prefix layers = %v", decoded)
+	}
+}
+
+func TestDecodingParserReuseNoAlloc(t *testing.T) {
+	var adv AdvPDU
+	var ads ADStructures
+	var fm FindMy
+	parser := NewDecodingParser(LayerTypeAdvPDU, &adv, &ads, &fm)
+	raw := testAirTagBytes(t)
+	decoded := make([]LayerType, 0, 4)
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := parser.DecodeLayers(raw, &decoded); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("DecodeLayers allocates %.1f times per run", allocs)
+	}
+}
+
+func TestSerializeBufferPrependAppend(t *testing.T) {
+	b := NewSerializeBuffer()
+	copy(b.PrependBytes(3), []byte{4, 5, 6})
+	copy(b.PrependBytes(3), []byte{1, 2, 3})
+	copy(b.AppendBytes(2), []byte{7, 8})
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("got % X, want % X", b.Bytes(), want)
+	}
+	b.Clear()
+	if len(b.Bytes()) != 0 {
+		t.Error("Clear should empty the buffer")
+	}
+	// Large prepend beyond initial capacity.
+	big := b.PrependBytes(500)
+	if len(big) != 500 || len(b.Bytes()) != 500 {
+		t.Error("large prepend failed")
+	}
+}
+
+func TestAdvAddressString(t *testing.T) {
+	a := AdvAddress{0xC0, 0x01, 0x02, 0x03, 0x04, 0x05}
+	if got := a.String(); got != "C0:01:02:03:04:05" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRandomStaticProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	seen := map[AdvAddress]bool{}
+	for i := 0; i < 1000; i++ {
+		a := RandomStatic(rng)
+		if !a.IsRandomStatic() {
+			t.Fatalf("address %v lacks the random-static prefix", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < 999 {
+		t.Errorf("only %d distinct addresses in 1000 draws", len(seen))
+	}
+}
+
+func TestAdvPDUHeaderBits(t *testing.T) {
+	f := func(typ uint8, chsel, tx, rx bool) bool {
+		pdu := &AdvPDU{Type: AdvPDUType(typ & 0x0F), ChSel: chsel, TxAdd: tx, RxAdd: rx, Address: AdvAddress{1, 2, 3, 4, 5, 6}}
+		buf := NewSerializeBuffer()
+		copy(buf.AppendBytes(3), []byte{2, 0x01, 0x06}) // minimal flags AD
+		if err := pdu.SerializeTo(buf); err != nil {
+			return false
+		}
+		var back AdvPDU
+		if err := back.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		return back.Type == pdu.Type && back.ChSel == chsel && back.TxAdd == tx &&
+			back.RxAdd == rx && back.Address == pdu.Address
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestADStructuresZeroLengthPadding(t *testing.T) {
+	var ads ADStructures
+	// One flags structure followed by zero padding.
+	if err := ads.DecodeFromBytes([]byte{2, ADTypeFlags, 0x06, 0, 0, 0}); err != nil {
+		t.Fatalf("padding should be tolerated: %v", err)
+	}
+	if len(ads.Structures) != 1 {
+		t.Errorf("got %d structures", len(ads.Structures))
+	}
+	// Overrun must fail.
+	if err := ads.DecodeFromBytes([]byte{9, ADTypeFlags, 0x06}); err == nil {
+		t.Error("overrunning structure should fail")
+	}
+}
+
+func TestLayerTypeString(t *testing.T) {
+	if LayerTypeFindMy.String() != "FindMy" {
+		t.Error("known layer name wrong")
+	}
+	if LayerType(77).String() != "LayerType(77)" {
+		t.Error("unknown layer name wrong")
+	}
+}
+
+func TestSmartTagAgingOverflow(t *testing.T) {
+	s := SmartTag{Aging: 1 << 24}
+	if err := s.SerializeTo(NewSerializeBuffer()); err == nil {
+		t.Error("24-bit overflow must be rejected")
+	}
+}
+
+func BenchmarkNewPacketAirTag(b *testing.B) {
+	raw := testAirTagBytes(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := NewPacket(raw, LayerTypeAdvPDU, Default)
+		if p.ErrorLayer() != nil {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+func BenchmarkDecodingParserAirTag(b *testing.B) {
+	raw := testAirTagBytes(b)
+	var adv AdvPDU
+	var ads ADStructures
+	var fm FindMy
+	parser := NewDecodingParser(LayerTypeAdvPDU, &adv, &ads, &fm)
+	decoded := make([]LayerType, 0, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := parser.DecodeLayers(raw, &decoded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildAirTagAdv(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	addr := RandomStatic(rng)
+	frame := FindMy{Status: 0x04}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildAirTagAdv(addr, frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package ble
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestFindMySerializeDecodeProperty: any FindMy frame survives a
+// serialize/decode round trip bit-for-bit.
+func TestFindMySerializeDecodeProperty(t *testing.T) {
+	f := func(status byte, key [FindMyKeyLen]byte, bits, hint byte) bool {
+		frame := FindMy{Status: status, PublicKey: key, KeyBits: bits, Hint: hint}
+		buf := NewSerializeBuffer()
+		if err := frame.SerializeTo(buf); err != nil {
+			return false
+		}
+		var back FindMy
+		if err := back.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		return back.Status == status && back.PublicKey == key &&
+			back.KeyBits == bits && back.Hint == hint
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSmartTagSerializeDecodeProperty: same for SmartTag frames (aging is
+// masked to its 24-bit wire width).
+func TestSmartTagSerializeDecodeProperty(t *testing.T) {
+	f := func(version byte, id [SmartTagIDLen]byte, aging uint32, flags byte) bool {
+		frame := SmartTag{Version: version, PrivacyID: id, Aging: aging & 0xFFFFFF, Flags: flags}
+		buf := NewSerializeBuffer()
+		if err := frame.SerializeTo(buf); err != nil {
+			return false
+		}
+		var back SmartTag
+		if err := back.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		return back.Version == version && back.PrivacyID == id &&
+			back.Aging == frame.Aging && back.Flags == flags
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFullAdvRoundTripProperty: a complete AirTag advertisement built from
+// arbitrary identity material decodes to the same identity.
+func TestFullAdvRoundTripProperty(t *testing.T) {
+	f := func(addrRaw [6]byte, key [FindMyKeyLen]byte) bool {
+		var addr AdvAddress
+		copy(addr[:], addrRaw[:])
+		addr[0] |= 0xC0
+		raw, err := BuildAirTagAdv(addr, FindMy{PublicKey: key})
+		if err != nil {
+			return false
+		}
+		p := NewPacket(raw, LayerTypeAdvPDU, Default)
+		if p.ErrorLayer() != nil {
+			return false
+		}
+		adv, ok := p.Layer(LayerTypeAdvPDU).(*AdvPDU)
+		if !ok || adv.Address != addr {
+			return false
+		}
+		fm, ok := p.Layer(LayerTypeFindMy).(*FindMy)
+		return ok && fm.PublicKey == key
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecoderNeverPanics: arbitrary bytes must decode to either layers or
+// an error layer, never a panic.
+func TestDecoderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		p := NewPacket(data, LayerTypeAdvPDU, Default)
+		_ = p.Layers()
+		_ = p.ErrorLayer()
+		lz := NewPacket(data, LayerTypeAdvPDU, Lazy)
+		_ = lz.Layer(LayerTypeSmartTag)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestADStructuresSerializeDecodeProperty: TLV sets survive round trips.
+func TestADStructuresSerializeDecodeProperty(t *testing.T) {
+	f := func(t1, t2 byte, d1, d2 []byte) bool {
+		if len(d1) > 200 {
+			d1 = d1[:200]
+		}
+		if len(d2) > 50 {
+			d2 = d2[:50]
+		}
+		ads := &ADStructures{Structures: []ADStructure{
+			{Type: t1, Data: d1},
+			{Type: t2, Data: d2},
+		}}
+		buf := NewSerializeBuffer()
+		if err := ads.SerializeTo(buf); err != nil {
+			return false
+		}
+		var back ADStructures
+		if err := back.DecodeFromBytes(buf.Bytes()); err != nil {
+			return false
+		}
+		if len(back.Structures) != 2 {
+			return false
+		}
+		return back.Structures[0].Type == t1 && bytes.Equal(back.Structures[0].Data, d1) &&
+			back.Structures[1].Type == t2 && bytes.Equal(back.Structures[1].Data, d2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+package ble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tagsim/internal/stats"
+)
+
+func TestDualSlopeMonotone(t *testing.T) {
+	for _, m := range []DualSlope{AirTagPathLoss, SmartTagPathLoss} {
+		prev := math.Inf(1)
+		for d := 1.0; d <= 200; d += 0.5 {
+			v := m.MeanRSSI(d)
+			if v > prev+1e-9 {
+				t.Fatalf("%+v: RSSI increased at %.1f m", m, d)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestDualSlopeClampBelowOneMeter(t *testing.T) {
+	m := AirTagPathLoss
+	if m.MeanRSSI(0) != m.MeanRSSI(1) || m.MeanRSSI(0.2) != m.MeanRSSI(1) {
+		t.Error("distances under 1 m must clamp")
+	}
+}
+
+func TestDualSlopeContinuousAtBreak(t *testing.T) {
+	m := SmartTagPathLoss
+	before := m.MeanRSSI(m.BreakM - 1e-9)
+	after := m.MeanRSSI(m.BreakM + 1e-9)
+	if math.Abs(before-after) > 0.01 {
+		t.Errorf("discontinuity at breakpoint: %.3f vs %.3f", before, after)
+	}
+}
+
+// TestFigure2Calibration pins the radio model to the paper's Figure 2:
+// SmartTag beacons arrive ~10 dB hotter at 0 and 10 m, and both tags are
+// comparable (within a few dB) at 20 m.
+func TestFigure2Calibration(t *testing.T) {
+	air, smart := AirTagPathLoss, SmartTagPathLoss
+	gap0 := smart.MeanRSSI(0) - air.MeanRSSI(0)
+	gap10 := smart.MeanRSSI(10) - air.MeanRSSI(10)
+	gap20 := smart.MeanRSSI(20) - air.MeanRSSI(20)
+	if gap0 < 7 || gap0 > 13 {
+		t.Errorf("0 m gap = %.1f dB, want ~10", gap0)
+	}
+	if gap10 < 7 || gap10 > 14 {
+		t.Errorf("10 m gap = %.1f dB, want ~10", gap10)
+	}
+	if math.Abs(gap20) > 4 {
+		t.Errorf("20 m gap = %.1f dB, want ~0", gap20)
+	}
+	// Absolute levels stay within the figure's -40..-100 dBm axis over
+	// the measured 0-50 m span.
+	for _, d := range []float64{0, 10, 20, 50} {
+		for _, m := range []DualSlope{air, smart} {
+			v := m.MeanRSSI(d)
+			if v > -40 || v < -100 {
+				t.Errorf("%+v at %.0f m: %.1f dBm outside the figure's axis", m, d, v)
+			}
+		}
+	}
+}
+
+func TestChannelSampleSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := DefaultChannel(AirTagPathLoss)
+	shadow := c.NewLink(rng)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = c.SampleRSSI(10, shadow, rng)
+	}
+	mean := stats.Mean(samples)
+	want := AirTagPathLoss.MeanRSSI(10) + shadow
+	if math.Abs(mean-want) > 0.5 {
+		t.Errorf("sample mean %.2f, want %.2f", mean, want)
+	}
+	sd := stats.StdDev(samples)
+	if math.Abs(sd-c.FadeSigma) > 0.5 {
+		t.Errorf("sample std %.2f, want ~%.2f", sd, c.FadeSigma)
+	}
+}
+
+func TestDecodeProbMonotoneDecreasing(t *testing.T) {
+	c := DefaultChannel(SmartTagPathLoss)
+	prev := 1.1
+	for d := 1.0; d < 300; d += 2 {
+		p := c.DecodeProb(d, DefaultReceiver)
+		if p > prev+1e-12 {
+			t.Fatalf("decode probability increased at %.0f m", d)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("decode probability %.3f out of range", p)
+		}
+		prev = p
+	}
+}
+
+func TestDecodeProbNearAndFar(t *testing.T) {
+	for _, m := range []DualSlope{AirTagPathLoss, SmartTagPathLoss} {
+		c := DefaultChannel(m)
+		if p := c.DecodeProb(1, DefaultReceiver); p < 0.999 {
+			t.Errorf("%+v: decode prob at 1 m = %.3f", m, p)
+		}
+		if p := c.DecodeProb(500, DefaultReceiver); p > 0.05 {
+			t.Errorf("%+v: decode prob at 500 m = %.3f", m, p)
+		}
+	}
+}
+
+func TestDecodeProbZeroSigma(t *testing.T) {
+	c := Channel{Model: AirTagPathLoss}
+	if c.DecodeProb(1, DefaultReceiver) != 1 {
+		t.Error("deterministic channel near the tag should decode")
+	}
+	if c.DecodeProb(999, DefaultReceiver) != 0 {
+		t.Error("deterministic channel far away should not decode")
+	}
+}
+
+func TestMaxRange(t *testing.T) {
+	// The paper quotes a BLE range of "up to 100 meters": the AirTag
+	// model should reach roughly that, the SmartTag's steep second slope
+	// caps it lower.
+	air := Channel{Model: AirTagPathLoss}
+	smart := Channel{Model: SmartTagPathLoss}
+	ar := air.MaxRange(DefaultReceiver)
+	sr := smart.MaxRange(DefaultReceiver)
+	if ar < 80 || ar > 150 {
+		t.Errorf("AirTag range %.0f m, want ~100", ar)
+	}
+	if sr < 25 || sr > 80 {
+		t.Errorf("SmartTag range %.0f m, want 25-80", sr)
+	}
+	// Degenerate receivers.
+	if r := air.MaxRange(Receiver{SensitivityDBm: -200}); r != 1000 {
+		t.Errorf("infinitely sensitive receiver range = %.0f", r)
+	}
+	if r := air.MaxRange(Receiver{SensitivityDBm: 0}); r != 0 {
+		t.Errorf("deaf receiver range = %.0f", r)
+	}
+}
+
+func TestDecodesThreshold(t *testing.T) {
+	r := Receiver{SensitivityDBm: -95}
+	if !r.Decodes(-95) || !r.Decodes(-60) {
+		t.Error("at/above sensitivity must decode")
+	}
+	if r.Decodes(-95.01) {
+		t.Error("below sensitivity must not decode")
+	}
+}
+
+func BenchmarkSampleRSSI(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	c := DefaultChannel(SmartTagPathLoss)
+	shadow := c.NewLink(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SampleRSSI(12.5, shadow, rng)
+	}
+}
+
+func BenchmarkDecodeProb(b *testing.B) {
+	c := DefaultChannel(AirTagPathLoss)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.DecodeProb(42, DefaultReceiver)
+	}
+}

@@ -1,0 +1,186 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+var (
+	t0  = time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	pos = geo.LatLon{Lat: 24.45, Lon: 54.37}
+)
+
+func report(at time.Time, tagID string, p geo.LatLon) trace.Report {
+	return trace.Report{T: at, HeardAt: at, TagID: tagID, Pos: p, ReporterID: "dev-1"}
+}
+
+func TestIngestAndLastSeen(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	if _, _, ok := s.LastSeen("tag"); ok {
+		t.Error("unknown tag must have no location")
+	}
+	if !s.Ingest(report(t0, "tag", pos)) {
+		t.Fatal("first report must be accepted")
+	}
+	got, at, ok := s.LastSeen("tag")
+	if !ok || got != pos || !at.Equal(t0) {
+		t.Fatalf("LastSeen = %v %v %v", got, at, ok)
+	}
+}
+
+func TestRateCap(t *testing.T) {
+	s := NewService(trace.VendorSamsung)
+	if !s.Ingest(report(t0, "tag", pos)) {
+		t.Fatal("first accept failed")
+	}
+	// Within the cap: rejected, state unchanged.
+	p2 := geo.Destination(pos, 90, 100)
+	if s.Ingest(report(t0.Add(time.Minute), "tag", p2)) {
+		t.Error("report inside the rate cap must be rejected")
+	}
+	got, at, _ := s.LastSeen("tag")
+	if got != pos || !at.Equal(t0) {
+		t.Error("rejected report must not change state")
+	}
+	// After the cap: accepted.
+	if !s.Ingest(report(t0.Add(s.MinUpdateInterval+time.Second), "tag", p2)) {
+		t.Error("report after the cap must be accepted")
+	}
+	accepted, rejected := s.Stats()
+	if accepted != 2 || rejected != 1 {
+		t.Errorf("stats = %d/%d", accepted, rejected)
+	}
+}
+
+func TestRateCapBoundsHourlyRate(t *testing.T) {
+	// Saturating the service for an hour must not exceed ~18.75 accepts.
+	s := NewService(trace.VendorApple)
+	accepted := 0
+	for sec := 0; sec < 3600; sec += 10 {
+		if s.Ingest(report(t0.Add(time.Duration(sec)*time.Second), "tag", pos)) {
+			accepted++
+		}
+	}
+	if accepted < 15 || accepted > 20 {
+		t.Errorf("hourly accepted = %d, want 15-20 (the Figure 4 plateau)", accepted)
+	}
+}
+
+func TestOutOfOrderRejected(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	s.Ingest(report(t0.Add(time.Hour), "tag", pos))
+	if s.Ingest(report(t0, "tag", geo.Destination(pos, 0, 500))) {
+		t.Error("stale report must not regress last-seen")
+	}
+}
+
+func TestPerTagIndependence(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	if !s.Ingest(report(t0, "tag-a", pos)) || !s.Ingest(report(t0, "tag-b", pos)) {
+		t.Error("rate cap must be per tag")
+	}
+}
+
+func TestHistory(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	s.Ingest(report(t0, "tag", pos))
+	s.Ingest(report(t0.Add(10*time.Minute), "tag", geo.Destination(pos, 0, 300)))
+	h := s.History("tag")
+	if len(h) != 2 {
+		t.Fatalf("history has %d entries", len(h))
+	}
+	if !h[0].T.Before(h[1].T) {
+		t.Error("history out of order")
+	}
+	if s.History("nope") != nil {
+		t.Error("unknown tag history should be nil")
+	}
+	// History disabled.
+	s2 := NewService(trace.VendorApple)
+	s2.KeepHistory = false
+	s2.Ingest(report(t0, "tag", pos))
+	if len(s2.History("tag")) != 0 {
+		t.Error("history kept while disabled")
+	}
+}
+
+func TestRegisterAndTagIDs(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	s.Register("b")
+	s.Register("a")
+	s.Register("a") // idempotent
+	ids := s.TagIDs()
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("TagIDs = %v", ids)
+	}
+	if _, _, ok := s.LastSeen("a"); ok {
+		t.Error("registered but unreported tag must have no location")
+	}
+}
+
+func TestCombinedView(t *testing.T) {
+	apple := NewService(trace.VendorApple)
+	samsung := NewService(trace.VendorSamsung)
+	pA := pos
+	pS := geo.Destination(pos, 90, 400)
+	apple.Ingest(report(t0, "tag", pA))
+	samsung.Ingest(report(t0.Add(5*time.Minute), "tag", pS))
+
+	c := Combined{apple, samsung}
+	got, at, ok := c.LastSeen("tag")
+	if !ok || got != pS || !at.Equal(t0.Add(5*time.Minute)) {
+		t.Errorf("combined LastSeen = %v %v %v, want freshest (samsung)", got, at, ok)
+	}
+	// Merged history is time-sorted across services.
+	h := c.MergedHistory("tag")
+	if len(h) != 2 || !h[0].T.Before(h[1].T) {
+		t.Errorf("merged history = %v", h)
+	}
+	// Empty combined.
+	if _, _, ok := (Combined{}).LastSeen("tag"); ok {
+		t.Error("empty combined must report nothing")
+	}
+}
+
+func TestCombinedBeatsIndividualFreshness(t *testing.T) {
+	// The combined ecosystem's defining property: its last-seen is never
+	// staler than either component's.
+	apple := NewService(trace.VendorApple)
+	samsung := NewService(trace.VendorSamsung)
+	c := Combined{apple, samsung}
+	for i := 0; i < 50; i++ {
+		at := t0.Add(time.Duration(i*7) * time.Minute)
+		r := report(at, "tag", geo.Destination(pos, float64(i), float64(i*10)))
+		if i%2 == 0 {
+			apple.Ingest(r)
+		} else {
+			samsung.Ingest(r)
+		}
+		_, ct, _ := c.LastSeen("tag")
+		if _, at2, ok := apple.LastSeen("tag"); ok && ct.Before(at2) {
+			t.Fatal("combined staler than apple")
+		}
+		if _, at2, ok := samsung.LastSeen("tag"); ok && ct.Before(at2) {
+			t.Fatal("combined staler than samsung")
+		}
+	}
+}
+
+func TestServiceString(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	s.Ingest(report(t0, "tag", pos))
+	if got := s.String(); got == "" {
+		t.Error("String should describe the service")
+	}
+}
+
+func BenchmarkIngest(b *testing.B) {
+	s := NewService(trace.VendorApple)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Ingest(report(t0.Add(time.Duration(i)*4*time.Minute), "tag", pos))
+	}
+}

@@ -1,0 +1,129 @@
+// Package crawler reproduces the paper's companion-app crawlers: the
+// FindMy crawler (pyautogui + OCR on MacOS) and the SmartThings crawler
+// (ADB-driven Android), both reduced to what they actually do — poll each
+// tag's displayed location once per minute and reconstruct the report time
+// from the app's "last seen X minutes ago" label.
+//
+// The reconstruction inherits two artifacts the analysis must live with:
+// the label is quantized to whole minutes (up to one minute of error, as
+// the paper notes), and OCR occasionally misreads the digits.
+package crawler
+
+import (
+	"math/rand"
+	"time"
+
+	"tagsim/internal/cloud"
+	"tagsim/internal/sim"
+	"tagsim/internal/trace"
+)
+
+// Config parameterizes a crawler.
+type Config struct {
+	// Vendor labels the records (which companion app was crawled).
+	Vendor trace.Vendor
+	// Interval is the polling period (the paper's crawlers: one minute).
+	Interval time.Duration
+	// OCRMisreadProb is the chance the "X minutes ago" digits are
+	// misread, shifting the age by one minute.
+	OCRMisreadProb float64
+}
+
+// DefaultConfig returns the paper's crawler settings for a vendor.
+func DefaultConfig(v trace.Vendor) Config {
+	return Config{Vendor: v, Interval: time.Minute, OCRMisreadProb: 0.01}
+}
+
+// Crawler polls a cloud view for a set of tags and accumulates crawl
+// records.
+type Crawler struct {
+	cfg     Config
+	view    cloud.View
+	tagIDs  []string
+	rng     *rand.Rand
+	records []trace.CrawlRecord
+}
+
+// New builds a crawler over a cloud view. tagIDs are the tags paired to
+// the crawling account.
+func New(cfg Config, view cloud.View, tagIDs []string, rng *rand.Rand) *Crawler {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Minute
+	}
+	return &Crawler{cfg: cfg, view: view, tagIDs: tagIDs, rng: rng}
+}
+
+// Attach schedules the crawl loop on the engine starting at start; the
+// returned function stops it.
+func (c *Crawler) Attach(e *sim.Engine, start time.Time) (stop func()) {
+	return e.EveryFixed(start, c.cfg.Interval, c.Poll)
+}
+
+// Poll performs one crawl pass at the given virtual time.
+func (c *Crawler) Poll(now time.Time) {
+	for _, tagID := range c.tagIDs {
+		pos, at, ok := c.view.LastSeen(tagID)
+		if !ok {
+			continue // app shows "no location found"
+		}
+		age := int(now.Sub(at) / time.Minute) // app floors to whole minutes
+		if age < 0 {
+			age = 0
+		}
+		if c.cfg.OCRMisreadProb > 0 && c.rng.Float64() < c.cfg.OCRMisreadProb {
+			if age > 0 && c.rng.Intn(2) == 0 {
+				age--
+			} else {
+				age++
+			}
+		}
+		c.records = append(c.records, trace.CrawlRecord{
+			CrawlT:     now,
+			TagID:      tagID,
+			Vendor:     c.cfg.Vendor,
+			Pos:        pos,
+			ReportedAt: now.Add(-time.Duration(age) * time.Minute),
+			AgeMinutes: age,
+		})
+	}
+}
+
+// Records returns the accumulated crawl log (time-sorted by construction).
+func (c *Crawler) Records() []trace.CrawlRecord { return c.records }
+
+// NowCount returns how many crawl records showed the tag as seen "Now" —
+// the quantity Table 1 reports per country.
+func (c *Crawler) NowCount() int {
+	n := 0
+	for _, r := range c.records {
+		if r.IsNow() {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctReports collapses consecutive crawl records that observed the
+// same underlying report (same tag, same displayed position) into one
+// record each, reconstructing the fine-grained location history the
+// paper's crawlers build.
+func DistinctReports(records []trace.CrawlRecord) []trace.CrawlRecord {
+	var out []trace.CrawlRecord
+	lastByTag := make(map[string]trace.CrawlRecord)
+	for _, r := range records {
+		prev, seen := lastByTag[r.TagID]
+		if seen && prev.Pos == r.Pos && absDuration(prev.ReportedAt.Sub(r.ReportedAt)) <= 90*time.Second {
+			continue // same report observed again a minute later
+		}
+		lastByTag[r.TagID] = r
+		out = append(out, r)
+	}
+	return out
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

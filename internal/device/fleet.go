@@ -1,0 +1,110 @@
+package device
+
+import (
+	"math"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/mobility"
+	"tagsim/internal/trace"
+)
+
+// Fleet is a spatially indexed collection of devices. The encounter plane
+// asks it, thousands of times per simulated day, "which devices could
+// possibly be within radio range of this tag right now?" — so the index
+// must answer without evaluating every device's mobility model.
+//
+// Each device gets a precomputed roam bound: the farthest its itinerary
+// ever strays from its home anchor. A device whose home is farther from
+// the query point than roam+radius can be rejected with one planar
+// distance check; only survivors pay for a Pos(t) evaluation.
+type Fleet struct {
+	devices []*Device
+	enu     *geo.ENU
+	// planar home coordinates and roam bounds, parallel to devices.
+	xs, ys []float64
+	roamM  []float64
+}
+
+// NewFleet indexes devices around an origin (typically the city center).
+func NewFleet(origin geo.LatLon, devices []*Device) *Fleet {
+	f := &Fleet{
+		devices: devices,
+		enu:     geo.NewENU(origin),
+		xs:      make([]float64, len(devices)),
+		ys:      make([]float64, len(devices)),
+		roamM:   make([]float64, len(devices)),
+	}
+	for i, d := range devices {
+		f.xs[i], f.ys[i] = f.enu.Forward(d.Home)
+		f.roamM[i] = roamBound(d)
+	}
+	return f
+}
+
+// roamBound computes how far the device's mobility can take it from home.
+func roamBound(d *Device) float64 {
+	const margin = 50 // meters of slack for path interpolation
+	switch m := d.Mobility.(type) {
+	case mobility.Stationary:
+		return geo.Distance(d.Home, geo.LatLon(m)) + margin
+	case *mobility.Itinerary:
+		max := 0.0
+		for _, wp := range m.Waypoints() {
+			if dist := geo.Distance(d.Home, wp); dist > max {
+				max = dist
+			}
+		}
+		return max + margin
+	default:
+		// Unknown model: assume it can be anywhere; the index degrades to
+		// a full scan for this device.
+		return math.Inf(1)
+	}
+}
+
+// Len returns the number of devices.
+func (f *Fleet) Len() int { return len(f.devices) }
+
+// Devices returns the underlying slice (shared, not a copy).
+func (f *Fleet) Devices() []*Device { return f.devices }
+
+// CountByVendor tallies devices per vendor.
+func (f *Fleet) CountByVendor() map[trace.Vendor]int {
+	out := make(map[trace.Vendor]int)
+	for _, d := range f.devices {
+		out[d.Vendor]++
+	}
+	return out
+}
+
+// Near appends to dst the devices that are active at time t and could be
+// within radiusM of pos (callers still verify true distance via Pos). It
+// returns the extended slice, enabling allocation-free reuse.
+func (f *Fleet) Near(pos geo.LatLon, t time.Time, radiusM float64, dst []*Device) []*Device {
+	qx, qy := f.enu.Forward(pos)
+	for i := range f.devices {
+		d := f.devices[i]
+		if !d.Active(t) {
+			continue
+		}
+		reach := f.roamM[i] + radiusM
+		if math.IsInf(reach, 1) {
+			dst = append(dst, d)
+			continue
+		}
+		dx := f.xs[i] - qx
+		dy := f.ys[i] - qy
+		if dx*dx+dy*dy <= reach*reach {
+			dst = append(dst, d)
+		}
+	}
+	return dst
+}
+
+// ResetCooldowns clears reporting state on every device.
+func (f *Fleet) ResetCooldowns() {
+	for _, d := range f.devices {
+		d.ResetCooldowns()
+	}
+}

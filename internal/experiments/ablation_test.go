@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationStrategies(t *testing.T) {
+	r := AblationStrategies(5, 60, 4)
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	apple, _ := r.Rate("apple conservative")
+	samsung, _ := r.Rate("samsung aggressive")
+	uncapped, _ := r.Rate("aggressive, no cloud cap")
+
+	// With 60 devices, both capped policies sit at/below the plateau and
+	// the aggressive one saturates it.
+	if samsung < 12 || samsung > 20 {
+		t.Errorf("aggressive capped rate = %.1f, want the 15-20 plateau", samsung)
+	}
+	if apple >= samsung {
+		t.Errorf("conservative (%.1f) should trail aggressive (%.1f) at this density", apple, samsung)
+	}
+	// Removing the cap blows well past the plateau — the plateau is a
+	// cloud property, not a radio or density limit.
+	if uncapped < samsung*2 {
+		t.Errorf("uncapped rate = %.1f, want >> capped %.1f", uncapped, samsung)
+	}
+	if !strings.Contains(r.Render(), "Ablation") {
+		t.Error("render missing title")
+	}
+	if _, ok := r.Rate("nope"); ok {
+		t.Error("unknown config should not resolve")
+	}
+}
+
+func TestAblationDefaults(t *testing.T) {
+	r := AblationStrategies(1, 0, 0)
+	if r.Crowd != 60 {
+		t.Errorf("default crowd = %d", r.Crowd)
+	}
+}

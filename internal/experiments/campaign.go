@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: Table 1 (dataset summary), Figure 2 (beacon RSSI), Figures
+// 3-4 (cafeteria update rates), Figures 5a-f (in-the-wild accuracy),
+// Figure 6 (visited hexagons), Figure 7 (accuracy by population density),
+// and Figure 8 (accuracy vs radius). Each experiment returns structured
+// results plus a text rendering of the same rows/series the paper plots.
+package experiments
+
+import (
+	"time"
+
+	"tagsim/internal/analysis"
+	"tagsim/internal/geo"
+	"tagsim/internal/scenario"
+	"tagsim/internal/trace"
+)
+
+// Options control the in-the-wild campaign used by Table 1 and Figures
+// 5-8. Scale trades fidelity for runtime: 1.0 is the paper's 120 days.
+type Options struct {
+	Seed           int64
+	Scale          float64
+	DevicesPerCity int
+}
+
+// DefaultOptions is sized to regenerate every figure in tens of seconds.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Scale: 0.25, DevicesPerCity: 500}
+}
+
+// Campaign is one executed in-the-wild campaign with its analysis
+// artifacts precomputed, shared by every wild-data experiment.
+type Campaign struct {
+	Options Options
+	Result  *scenario.WildResult
+	// Merged is the raw merged dataset across countries.
+	Merged *analysis.Dataset
+	// Homes are the detected overnight locations across the campaign.
+	Homes []geo.LatLon
+	// Truth indexes the home-filtered ground truth.
+	Truth *analysis.TruthIndex
+	// RemovedFrac is the share of fixes dropped by the home filter (the
+	// paper reports 65%).
+	RemovedFrac float64
+	// Filtered crawl records per vendor (incl. VendorCombined).
+	filteredCrawls map[trace.Vendor][]trace.CrawlRecord
+	From, To       time.Time
+}
+
+// NewCampaign runs the campaign and prepares the shared analysis state.
+func NewCampaign(opts Options) *Campaign {
+	if opts.Scale <= 0 {
+		opts.Scale = 1
+	}
+	res := scenario.RunWild(scenario.WildConfig{
+		Seed:           opts.Seed,
+		Scale:          opts.Scale,
+		DevicesPerCity: opts.DevicesPerCity,
+	})
+	merged := res.MergedDataset()
+
+	var homes []geo.LatLon
+	for _, c := range res.Countries {
+		homes = append(homes, c.Homes...)
+	}
+	kept, removed := analysis.FilterNearHomes(merged.GroundTruth, homes, 300)
+
+	c := &Campaign{
+		Options:        opts,
+		Result:         res,
+		Merged:         merged,
+		Homes:          homes,
+		Truth:          analysis.NewTruthIndex(kept),
+		RemovedFrac:    removed,
+		filteredCrawls: make(map[trace.Vendor][]trace.CrawlRecord),
+	}
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung, trace.VendorCombined} {
+		c.filteredCrawls[v] = analysis.FilterCrawlsNearHomes(merged.CrawlsFor(v), homes, 300)
+	}
+	c.From, c.To = res.Span()
+	return c
+}
+
+// Crawls returns the home-filtered crawl records for a vendor (including
+// the synthesized combined ecosystem).
+func (c *Campaign) Crawls(v trace.Vendor) []trace.CrawlRecord { return c.filteredCrawls[v] }
+
+// Vendors lists the three analysis ecosystems in figure order.
+var Vendors = []trace.Vendor{trace.VendorApple, trace.VendorSamsung, trace.VendorCombined}

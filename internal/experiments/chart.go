@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"tagsim/internal/trace"
+)
+
+// asciiChart renders named series as a fixed-size ASCII line chart, the
+// text analogue of the paper's figure panels. Each series gets a marker
+// rune; points are plotted at their nearest cell, series later in the
+// list win collisions.
+type asciiChart struct {
+	Width, Height int
+	XLabel        string
+	YLabel        string
+	XMin, XMax    float64
+	YMin, YMax    float64
+}
+
+type chartSeries struct {
+	Name   string
+	Marker byte
+	XS, YS []float64
+}
+
+func (c asciiChart) render(series []chartSeries) string {
+	if c.Width <= 0 {
+		c.Width = 56
+	}
+	if c.Height <= 0 {
+		c.Height = 14
+	}
+	grid := make([][]byte, c.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", c.Width))
+	}
+	spanX := c.XMax - c.XMin
+	spanY := c.YMax - c.YMin
+	if spanX <= 0 || spanY <= 0 {
+		return "(empty chart)\n"
+	}
+	plot := func(x, y float64, m byte) {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return
+		}
+		col := int((x - c.XMin) / spanX * float64(c.Width-1))
+		row := c.Height - 1 - int((y-c.YMin)/spanY*float64(c.Height-1))
+		if col < 0 || col >= c.Width || row < 0 || row >= c.Height {
+			return
+		}
+		grid[row][col] = m
+	}
+	for _, s := range series {
+		// Linear interpolation between points fills the line.
+		for i := 1; i < len(s.XS); i++ {
+			x0, y0, x1, y1 := s.XS[i-1], s.YS[i-1], s.XS[i], s.YS[i]
+			steps := c.Width / 2
+			for k := 0; k <= steps; k++ {
+				f := float64(k) / float64(steps)
+				plot(x0+(x1-x0)*f, y0+(y1-y0)*f, s.Marker)
+			}
+		}
+		for i := range s.XS {
+			plot(s.XS[i], s.YS[i], s.Marker)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", c.YLabel)
+	for i, row := range grid {
+		yVal := c.YMax - float64(i)/float64(c.Height-1)*spanY
+		fmt.Fprintf(&b, "%6.1f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "       %s\n", strings.Repeat("-", c.Width+2))
+	fmt.Fprintf(&b, "       %-8.0f%*s\n", c.XMin, c.Width-6, fmt.Sprintf("%.0f %s", c.XMax, c.XLabel))
+	legend := make([]string, 0, len(series))
+	for _, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.Marker, s.Name))
+	}
+	fmt.Fprintf(&b, "       legend: %s\n", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// RenderChart draws the accuracy-vs-responsiveness sweep as an ASCII
+// figure panel (the visual form of Figures 5a-c).
+func (r *Figure5SweepResult) RenderChart() string {
+	markers := map[trace.Vendor]byte{
+		trace.VendorApple:    'a',
+		trace.VendorSamsung:  's',
+		trace.VendorCombined: '*',
+	}
+	var series []chartSeries
+	for _, v := range Vendors {
+		s := chartSeries{Name: v.String(), Marker: markers[v]}
+		for _, m := range SweepMinutes {
+			s.XS = append(s.XS, float64(m))
+			s.YS = append(s.YS, r.Acc(v, m))
+		}
+		series = append(series, s)
+	}
+	chart := asciiChart{
+		XLabel: "min", YLabel: fmt.Sprintf("accuracy %% (radius %.0f m)", r.RadiusM),
+		XMin: 0, XMax: float64(SweepMinutes[len(SweepMinutes)-1]),
+		YMin: 0, YMax: 100,
+	}
+	return chart.render(series)
+}
+
+// RenderChart draws the radius sweep as an ASCII panel (Figure 8's
+// visual form), one marker per time window.
+func (r *Figure8Result) RenderChart() string {
+	markers := []byte{'1', '2', '3', '4', '5', '6'}
+	var series []chartSeries
+	for i, w := range r.Windows {
+		s := chartSeries{Name: fmt.Sprintf("%dmin", int(w.Minutes())), Marker: markers[i%len(markers)]}
+		for _, radius := range r.Radii {
+			s.XS = append(s.XS, radius)
+			s.YS = append(s.YS, r.Acc[w][radius])
+		}
+		series = append(series, s)
+	}
+	chart := asciiChart{
+		XLabel: "radius m", YLabel: "combined accuracy %",
+		XMin: 0, XMax: 100, YMin: 0, YMax: 100,
+	}
+	return chart.render(series)
+}
+
+// RenderChart draws the cafeteria day as an ASCII panel (Figure 3's
+// visual form): update rates for both tags over the hours of the day.
+func (r *Figure3Result) RenderChart() string {
+	var air, smart chartSeries
+	air = chartSeries{Name: "AirTag", Marker: 'a'}
+	smart = chartSeries{Name: "SmartTag", Marker: 's'}
+	for _, row := range r.Rows {
+		air.XS = append(air.XS, float64(row.Hour))
+		air.YS = append(air.YS, row.AirTagRate)
+		smart.XS = append(smart.XS, float64(row.Hour))
+		smart.YS = append(smart.YS, row.SmartRate)
+	}
+	chart := asciiChart{
+		XLabel: "hour", YLabel: "updates/hour",
+		XMin: 0, XMax: 23, YMin: 0, YMax: 22,
+	}
+	return chart.render([]chartSeries{air, smart})
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiChartBasics(t *testing.T) {
+	c := asciiChart{XLabel: "x", YLabel: "y", XMin: 0, XMax: 10, YMin: 0, YMax: 100}
+	out := c.render([]chartSeries{{
+		Name: "up", Marker: '*',
+		XS: []float64{0, 5, 10}, YS: []float64{0, 50, 100},
+	}})
+	if !strings.Contains(out, "legend: *=up") {
+		t.Error("legend missing")
+	}
+	lines := strings.Split(out, "\n")
+	// The diagonal should put a marker near the top-right and
+	// bottom-left plot rows.
+	var topRow, bottomRow string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			if topRow == "" {
+				topRow = l
+			}
+			bottomRow = l
+		}
+	}
+	if !strings.Contains(topRow, "*") {
+		t.Error("no marker on the top row for a rising series")
+	}
+	if !strings.Contains(bottomRow, "*") {
+		t.Error("no marker on the bottom row for a rising series")
+	}
+}
+
+func TestAsciiChartDegenerate(t *testing.T) {
+	c := asciiChart{XMin: 5, XMax: 5, YMin: 0, YMax: 1}
+	if out := c.render(nil); !strings.Contains(out, "empty chart") {
+		t.Error("degenerate span should render the empty marker")
+	}
+}
+
+func TestFigure3RenderChart(t *testing.T) {
+	r := &Figure3Result{Rows: []Figure3Row{
+		{Hour: 8, AirTagRate: 9, SmartRate: 7},
+		{Hour: 13, AirTagRate: 16, SmartRate: 15},
+		{Hour: 20, AirTagRate: 16, SmartRate: 15},
+	}}
+	out := r.RenderChart()
+	if !strings.Contains(out, "updates/hour") || !strings.Contains(out, "a=AirTag") {
+		t.Errorf("chart incomplete:\n%s", out)
+	}
+}
+
+func TestFigure5SweepRenderChart(t *testing.T) {
+	c := getCampaign(t)
+	out := Figure5Sweep(c, 100).RenderChart()
+	if !strings.Contains(out, "radius 100 m") || !strings.Contains(out, "*=Combined") {
+		t.Errorf("sweep chart incomplete:\n%s", out)
+	}
+}
+
+func TestFigure8RenderChart(t *testing.T) {
+	c := getCampaign(t)
+	out := Figure8(c).RenderChart()
+	if !strings.Contains(out, "combined accuracy") || !strings.Contains(out, "1=1min") {
+		t.Errorf("figure 8 chart incomplete:\n%s", out)
+	}
+}

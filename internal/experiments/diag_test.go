@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"tagsim/internal/analysis"
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// TestDiagnostics prints a breakdown of the campaign for calibration work.
+// Run with: go test ./internal/experiments/ -run TestDiagnostics -v
+func TestDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostic only")
+	}
+	c := getCampaign(t)
+	t.Logf("countries: %d, homes: %d, removedFrac: %.2f\n", len(c.Result.Countries), len(c.Homes), c.RemovedFrac)
+	t.Logf("truth fixes (filtered): %d\n", c.Truth.Len())
+	for _, v := range Vendors {
+		t.Logf("crawls[%v]: %d records\n", v, len(c.Crawls(v)))
+	}
+	// Per-country cloud acceptance from raw (unfiltered) crawls.
+	for _, cr := range c.Result.Countries {
+		a := cr.Dataset.CrawlsFor(trace.VendorApple)
+		s := cr.Dataset.CrawlsFor(trace.VendorSamsung)
+		t.Logf("%s: days=%d apple crawls=%d (now %d) samsung crawls=%d (now %d) homes=%d\n",
+			cr.Spec.Code, cr.Days, len(a), cr.AppleNow, len(s), cr.SamsungNow, len(cr.Homes))
+	}
+	// Accuracy by speed class at 100 m / 120 min and 10 min.
+	for _, bucket := range []time.Duration{10 * time.Minute, 120 * time.Minute} {
+		byClass := analysis.AccuracyByClass(c.Truth, c.Crawls(trace.VendorCombined), bucket, 100, c.From, c.To, analysis.SpeedClassifier(c.Truth))
+		t.Logf("bucket %v @100m:\n", bucket)
+		for cls, res := range byClass {
+			t.Logf("  %-12s buckets=%4d hits=%4d acc=%.1f%%\n", cls, res.Buckets, res.Hits, res.Pct())
+		}
+	}
+	// How close do reports get to the truth? Distance distribution of
+	// distinct reports vs truth-at-report-time.
+	reports := c.Crawls(trace.VendorCombined)
+	var within10, within25, within100, within500, total, noTruth int
+	seen := map[string]time.Time{}
+	for _, r := range reports {
+		if prev, ok := seen[r.TagID]; ok && absd(prev.Sub(r.ReportedAt)) <= 90*time.Second {
+			continue
+		}
+		seen[r.TagID] = r.ReportedAt
+		pos, ok := c.Truth.At(r.ReportedAt)
+		if !ok {
+			noTruth++
+			continue
+		}
+		total++
+		d := geo.Distance(pos, r.Pos)
+		switch {
+		case d <= 10:
+			within10++
+		case d <= 25:
+			within25++
+		case d <= 100:
+			within100++
+		case d <= 500:
+			within500++
+		}
+	}
+	t.Logf("distinct reports: %d with truth, %d without (home-filtered truth)\n", total, noTruth)
+	t.Logf("  <=10m %d, 10-25m %d, 25-100m %d, 100-500m %d, >500m %d\n",
+		within10, within25, within100, within500, total-within10-within25-within100-within500)
+}
+
+func absd(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,187 @@
+package tagkeys
+
+import (
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2022, 3, 1, 0, 0, 0, 0, time.UTC)
+
+func testChain(period time.Duration) *Chain {
+	return New(SecretFromSeed(42), epoch, period)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := testChain(SmartTagRotation)
+	b := testChain(SmartTagRotation)
+	at := epoch.Add(3 * time.Hour)
+	if a.IdentityAt(at) != b.IdentityAt(at) {
+		t.Error("same secret and time must yield the same identity")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(SecretFromSeed(1), epoch, SmartTagRotation)
+	b := New(SecretFromSeed(2), epoch, SmartTagRotation)
+	if a.IdentityAt(epoch) == b.IdentityAt(epoch) {
+		t.Error("different secrets must yield different identities")
+	}
+}
+
+func TestRotationSchedule(t *testing.T) {
+	c := testChain(15 * time.Minute)
+	id0 := c.IdentityAt(epoch)
+	id0b := c.IdentityAt(epoch.Add(14 * time.Minute))
+	id1 := c.IdentityAt(epoch.Add(15 * time.Minute))
+	if id0 != id0b {
+		t.Error("identity must be stable within a period")
+	}
+	if id0 == id1 {
+		t.Error("identity must rotate at the period boundary")
+	}
+	if id0.Address == id1.Address {
+		t.Error("address must rotate")
+	}
+	if id0.Key == id1.Key {
+		t.Error("key must rotate")
+	}
+}
+
+func TestPeriodIndex(t *testing.T) {
+	c := testChain(time.Hour)
+	cases := []struct {
+		at   time.Time
+		want uint64
+	}{
+		{epoch, 0},
+		{epoch.Add(59 * time.Minute), 0},
+		{epoch.Add(time.Hour), 1},
+		{epoch.Add(25 * time.Hour), 25},
+		{epoch.Add(-time.Hour), 0}, // pre-epoch clamps
+	}
+	for _, tc := range cases {
+		if got := c.PeriodIndex(tc.at); got != tc.want {
+			t.Errorf("PeriodIndex(%v) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+}
+
+func TestNextRotation(t *testing.T) {
+	c := testChain(15 * time.Minute)
+	at := epoch.Add(7 * time.Minute)
+	next := c.NextRotation(at)
+	if !next.Equal(epoch.Add(15 * time.Minute)) {
+		t.Errorf("NextRotation = %v", next)
+	}
+	if c.IdentityAt(next) == c.IdentityAt(at) {
+		t.Error("identity must differ after NextRotation")
+	}
+}
+
+func TestAddressesAreRandomStatic(t *testing.T) {
+	c := testChain(SmartTagRotation)
+	for p := uint64(0); p < 100; p++ {
+		if !c.IdentityFor(p).Address.IsRandomStatic() {
+			t.Fatalf("period %d address is not random static", p)
+		}
+	}
+}
+
+func TestPseudonymUniqueness(t *testing.T) {
+	// Across many tags and periods, pseudonyms must be distinct (no
+	// ratchet collisions at simulation scale).
+	seen := make(map[string]bool)
+	for seed := uint64(0); seed < 50; seed++ {
+		c := New(SecretFromSeed(seed), epoch, SmartTagRotation)
+		for p := uint64(0); p < 96; p++ { // one day of 15-min periods
+			id := c.IdentityFor(p)
+			k := string(id.Address[:]) + string(id.Key[:])
+			if seen[k] {
+				t.Fatalf("pseudonym collision at seed %d period %d", seed, p)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestAddressDoesNotLeakKey(t *testing.T) {
+	c := testChain(SmartTagRotation)
+	id := c.IdentityFor(5)
+	for i := 0; i < 6; i++ {
+		if id.Address[i] != id.Key[i] {
+			return
+		}
+	}
+	t.Error("address bytes equal leading key bytes; payload derivation missing")
+}
+
+func TestPrivacyID(t *testing.T) {
+	c := testChain(SmartTagRotation)
+	id := c.IdentityFor(3)
+	p := id.PrivacyID()
+	for i := range p {
+		if p[i] != id.Key[i] {
+			t.Fatal("privacy ID must be the key prefix")
+		}
+	}
+}
+
+func TestResolver(t *testing.T) {
+	chains := map[string]*Chain{
+		"airtag-1":   New(SecretFromSeed(10), epoch, AirTagSeparatedRotation),
+		"smarttag-1": New(SecretFromSeed(11), epoch, SmartTagRotation),
+	}
+	from, to := epoch, epoch.Add(24*time.Hour)
+	r := NewResolver(chains, from, to)
+
+	// One day: AirTag separated mode has 2 pseudonyms (period 0 and 1),
+	// SmartTag has 97.
+	if r.Size() < 90 {
+		t.Errorf("resolver has %d pseudonyms", r.Size())
+	}
+	at := epoch.Add(13 * time.Hour)
+	for tagID, chain := range chains {
+		got, ok := r.Resolve(chain.IdentityAt(at).Address)
+		if !ok || got != tagID {
+			t.Errorf("Resolve(%s@%v) = %q, %v", tagID, at, got, ok)
+		}
+	}
+	// Unknown address.
+	other := New(SecretFromSeed(99), epoch, SmartTagRotation)
+	if _, ok := r.Resolve(other.IdentityAt(at).Address); ok {
+		t.Error("foreign pseudonym must not resolve")
+	}
+}
+
+func TestNewPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(SecretFromSeed(1), epoch, 0)
+}
+
+func BenchmarkIdentityAt(b *testing.B) {
+	c := testChain(SmartTagRotation)
+	at := epoch.Add(300 * time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.IdentityAt(at)
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	chains := make(map[string]*Chain, 100)
+	for i := 0; i < 100; i++ {
+		chains[string(rune('a'+i%26))+string(rune('0'+i/26))] = New(SecretFromSeed(uint64(i)), epoch, SmartTagRotation)
+	}
+	r := NewResolver(chains, epoch, epoch.Add(24*time.Hour))
+	addr := chains["a0"].IdentityAt(epoch.Add(time.Hour)).Address
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := r.Resolve(addr); !ok {
+			b.Fatal("lost pseudonym")
+		}
+	}
+}

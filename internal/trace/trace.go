@@ -1,0 +1,134 @@
+// Package trace defines the record types that flow between the simulator's
+// subsystems - ground-truth GPS fixes, cloud location reports, companion-app
+// crawl records, and WiFi device counts - plus JSONL/CSV codecs and the
+// sort/merge helpers the analysis pipeline uses.
+//
+// These records mirror the paper's data collection: the vantage-point app
+// logs <timestamp, GPS location> pairs, the crawlers log <crawl time,
+// reported location, last-seen time> triples, and the cafeteria WiFi
+// monitor logs hourly Apple/Samsung device counts.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"tagsim/internal/geo"
+)
+
+// Vendor identifies a location-tag ecosystem.
+type Vendor uint8
+
+const (
+	// VendorApple is the AirTag / FindMy ecosystem.
+	VendorApple Vendor = iota
+	// VendorSamsung is the SmartTag / SmartThings ecosystem.
+	VendorSamsung
+	// VendorCombined denotes the paper's emulated unified ecosystem in
+	// which both vendors' devices report both vendors' tags.
+	VendorCombined
+	// VendorOther marks devices that report no one's tags (the vantage
+	// point's Redmi Go, or any non-Apple non-Samsung bystander phone).
+	VendorOther
+)
+
+var vendorNames = [...]string{"Apple", "Samsung", "Combined", "Other"}
+
+// String returns the vendor name as used in the paper's tables.
+func (v Vendor) String() string {
+	if int(v) < len(vendorNames) {
+		return vendorNames[v]
+	}
+	return fmt.Sprintf("Vendor(%d)", uint8(v))
+}
+
+// ParseVendor parses a vendor name (as produced by String).
+func ParseVendor(s string) (Vendor, error) {
+	for i, n := range vendorNames {
+		if n == s {
+			return Vendor(i), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown vendor %q", s)
+}
+
+// MarshalText implements encoding.TextMarshaler so vendors serialize as
+// names in JSON/CSV.
+func (v Vendor) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText implements encoding.TextUnmarshaler.
+func (v *Vendor) UnmarshalText(b []byte) error {
+	parsed, err := ParseVendor(string(b))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
+// GroundTruth is one GPS fix recorded by the vantage-point app: the true
+// position of the tags at time T.
+type GroundTruth struct {
+	T         time.Time  `json:"t"`
+	Pos       geo.LatLon `json:"pos"`
+	VantageID string     `json:"vantage_id"`
+	// SpeedKmh is the instantaneous speed estimate attached by the app,
+	// derived from consecutive fixes.
+	SpeedKmh float64 `json:"speed_kmh"`
+	// UploadedAt is when the buffered fix actually reached the collection
+	// server (>= T; fixes buffer for up to 5 minutes, longer offline).
+	UploadedAt time.Time `json:"uploaded_at"`
+}
+
+// Report is one location report ingested by a vendor cloud: a reporting
+// device heard a tag's beacon and uploaded its own GPS position as the
+// tag's approximate location.
+type Report struct {
+	T          time.Time  `json:"t"`   // when the cloud accepted the report
+	HeardAt    time.Time  `json:"heard_at"` // when the beacon was received
+	TagID      string     `json:"tag_id"`
+	Vendor     Vendor     `json:"vendor"`
+	ReporterID string     `json:"reporter_id"`
+	Pos        geo.LatLon `json:"pos"`  // reporter GPS position (with error)
+	RSSI       float64    `json:"rssi"` // received signal strength, dBm
+}
+
+// CrawlRecord is one observation made by a companion-app crawler: the
+// tag's last reported location as shown by FindMy/SmartThings, plus the
+// crawler's reconstruction of when that report happened.
+type CrawlRecord struct {
+	CrawlT time.Time  `json:"crawl_t"` // when the crawler polled
+	TagID  string     `json:"tag_id"`
+	Vendor Vendor     `json:"vendor"`
+	Pos    geo.LatLon `json:"pos"`
+	// ReportedAt is the crawler's estimate of when the location was
+	// reported, reconstructed from the app's "X minutes ago" label via
+	// OCR; it carries up to one minute of quantization error.
+	ReportedAt time.Time `json:"reported_at"`
+	// AgeMinutes is the raw "last seen X minutes ago" value shown by the
+	// app (0 means "Now").
+	AgeMinutes int `json:"age_minutes"`
+}
+
+// IsNow reports whether the companion app displayed the tag as seen "Now",
+// the condition Table 1 counts as a report.
+func (c CrawlRecord) IsNow() bool { return c.AgeMinutes == 0 }
+
+// DeviceCount is one WiFi-monitor sample: how many Apple and Samsung
+// devices were associated with the cafeteria access point.
+type DeviceCount struct {
+	T       time.Time `json:"t"`
+	Apple   int       `json:"apple"`
+	Samsung int       `json:"samsung"`
+	Other   int       `json:"other"`
+}
+
+// BeaconRx is one received Bluetooth beacon, used by the secluded-area
+// RSSI experiment (Figure 2).
+type BeaconRx struct {
+	T         time.Time `json:"t"`
+	TagID     string    `json:"tag_id"`
+	Vendor    Vendor    `json:"vendor"`
+	RSSI      float64   `json:"rssi"`
+	DistanceM float64   `json:"distance_m"` // receiver distance from tag
+}

@@ -1,0 +1,282 @@
+// Package tagsim reproduces "I Tag, You Tag, Everybody Tags!" (IMC 2023)
+// as a deterministic simulation study: the AirTag and SmartTag crowd-
+// finding ecosystems — BLE advertising, reporting-device fleets, vendor
+// clouds, companion-app crawlers, and vantage-point ground truth — plus
+// the paper's full measurement methodology and every table/figure of its
+// evaluation.
+//
+// This package is the public facade. The typical entry points are:
+//
+//	c := tagsim.NewCampaign(tagsim.CampaignOptions{Seed: 1, Scale: 0.25})
+//	fmt.Print(tagsim.Table1(c).Render())
+//	fmt.Print(tagsim.Figure5Sweep(c, 100).Render())
+//
+// or, for the controlled experiments:
+//
+//	fmt.Print(tagsim.Figure2(1).Render())          // beacon RSSI
+//	fmt.Print(tagsim.Figure3(1, 5).Render())       // cafeteria update rates
+//
+// Lower-level building blocks (the BLE layer codec, the discrete-event
+// engine, mobility models, the analysis primitives) are re-exported here
+// so downstream code can compose its own experiments.
+package tagsim
+
+import (
+	"fmt"
+	"io"
+
+	"tagsim/internal/analysis"
+	"tagsim/internal/antistalk"
+	"tagsim/internal/ble"
+	"tagsim/internal/experiments"
+	"tagsim/internal/geo"
+	"tagsim/internal/mobility"
+	"tagsim/internal/scenario"
+	"tagsim/internal/stats"
+	"tagsim/internal/tag"
+	"tagsim/internal/trace"
+)
+
+// Core geographic and record types.
+type (
+	// LatLon is a WGS-84 position in decimal degrees.
+	LatLon = geo.LatLon
+	// Vendor identifies a tag ecosystem (Apple, Samsung, Combined).
+	Vendor = trace.Vendor
+	// GroundTruth is one vantage-point GPS fix.
+	GroundTruth = trace.GroundTruth
+	// CrawlRecord is one companion-app crawler observation.
+	CrawlRecord = trace.CrawlRecord
+	// Report is one crowd report accepted by a vendor cloud.
+	Report = trace.Report
+)
+
+// Vendor identifiers.
+const (
+	VendorApple    = trace.VendorApple
+	VendorSamsung  = trace.VendorSamsung
+	VendorCombined = trace.VendorCombined
+	VendorOther    = trace.VendorOther
+)
+
+// Campaign types and experiment entry points.
+type (
+	// CampaignOptions sizes the in-the-wild campaign.
+	CampaignOptions = experiments.Options
+	// Campaign is one executed in-the-wild campaign with its analysis
+	// state (shared by Table 1 and Figures 5-8).
+	Campaign = experiments.Campaign
+)
+
+// NewCampaign runs the six-country in-the-wild campaign.
+func NewCampaign(opts CampaignOptions) *Campaign { return experiments.NewCampaign(opts) }
+
+// DefaultCampaignOptions is sized to regenerate every figure in tens of
+// seconds; set Scale to 1 for the paper's full 120 days.
+func DefaultCampaignOptions() CampaignOptions { return experiments.DefaultOptions() }
+
+// Experiment constructors, one per paper artifact.
+var (
+	// Figure2 runs the secluded-area beacon RSSI experiment.
+	Figure2 = experiments.Figure2
+	// Figure3 runs the cafeteria deployment, aggregated by hour of day.
+	Figure3 = experiments.Figure3
+	// Figure4 buckets cafeteria update rates by reporting-device count.
+	Figure4 = experiments.Figure4
+	// Table1 summarizes the campaign dataset like the paper's Table 1.
+	Table1 = experiments.Table1
+	// Figure5Sweep computes accuracy vs responsiveness at one radius.
+	Figure5Sweep = experiments.Figure5Sweep
+	// Figure5d/e/f compute the classified accuracy panels.
+	Figure5d = experiments.Figure5d
+	Figure5e = experiments.Figure5e
+	Figure5f = experiments.Figure5f
+	// Figure6 computes visited hexagons for one country.
+	Figure6 = experiments.Figure6
+	// Figure7 computes accuracy CDFs by population density.
+	Figure7 = experiments.Figure7
+	// Figure8 sweeps accuracy over radius x time window.
+	Figure8 = experiments.Figure8
+	// Headline computes the paper's abstract-level numbers.
+	Headline = experiments.Headline
+	// Battery compares the tags' battery models.
+	Battery = experiments.Battery
+	// AblationStrategies compares reporting policies in a fixed crowd.
+	AblationStrategies = experiments.AblationStrategies
+)
+
+// Scenario building blocks for custom experiments.
+type (
+	// WildConfig parameterizes a custom in-the-wild campaign.
+	WildConfig = scenario.WildConfig
+	// CountrySpec is one Table 1 row worth of campaign.
+	CountrySpec = scenario.CountrySpec
+	// CafeteriaConfig parameterizes the instrumented cafeteria.
+	CafeteriaConfig = scenario.CafeteriaConfig
+	// SecludedConfig parameterizes the RSSI measurement.
+	SecludedConfig = scenario.SecludedConfig
+)
+
+// Scenario runners.
+var (
+	// RunWild simulates an in-the-wild campaign.
+	RunWild = scenario.RunWild
+	// RunCafeteria simulates the cafeteria deployment.
+	RunCafeteria = scenario.RunCafeteria
+	// SecludedRSSI runs the controlled RSSI measurement.
+	SecludedRSSI = scenario.SecludedRSSI
+	// Table1Countries returns the paper's six-country campaign spec.
+	Table1Countries = scenario.Table1Countries
+)
+
+// Analysis primitives for working with datasets directly.
+type (
+	// Dataset bundles ground truth with crawler records.
+	Dataset = analysis.Dataset
+	// TruthIndex answers position-at-time queries over ground truth.
+	TruthIndex = analysis.TruthIndex
+	// AccuracyResult is a hit/miss tally.
+	AccuracyResult = analysis.AccuracyResult
+)
+
+// Analysis entry points.
+var (
+	// NewDataset builds a time-sorted dataset.
+	NewDataset = analysis.NewDataset
+	// NewTruthIndex indexes ground-truth fixes.
+	NewTruthIndex = analysis.NewTruthIndex
+	// Accuracy computes the paper's bucketed hit/miss accuracy.
+	Accuracy = analysis.Accuracy
+	// DetectHomes finds overnight locations for the home filter.
+	DetectHomes = analysis.DetectHomes
+	// FilterNearHomes applies the 300 m home filter.
+	FilterNearHomes = analysis.FilterNearHomes
+	// Episodes segments ground truth into place visits.
+	Episodes = analysis.Episodes
+	// FirstHitDelays measures backtracking delay per episode.
+	FirstHitDelays = analysis.FirstHitDelays
+	// BacktrackFraction summarizes backtrackable movement share.
+	BacktrackFraction = analysis.BacktrackFraction
+)
+
+// Statistics helpers used across the analyses.
+var (
+	// WelchTTest is the two-sided unequal-variance t-test.
+	WelchTTest = stats.WelchTTest
+	// Stars renders p-values in the paper's ns/*/**/***/**** notation.
+	Stars = stats.Stars
+)
+
+// Tag hardware models.
+var (
+	// AirTagProfile is the calibrated AirTag model.
+	AirTagProfile = tag.AirTagProfile
+	// SmartTagProfile is the calibrated SmartTag model.
+	SmartTagProfile = tag.SmartTagProfile
+)
+
+// BLE plane: the over-the-air formats (gopacket-style codec).
+type (
+	// Packet is a decoded BLE advertising frame.
+	Packet = ble.Packet
+	// AdvAddress is a BLE advertiser address.
+	AdvAddress = ble.AdvAddress
+)
+
+var (
+	// NewPacket decodes raw advertising bytes.
+	NewPacket = ble.NewPacket
+	// IsAirTagPrefix checks for the paper's 1EFF004C12 signature.
+	IsAirTagPrefix = ble.IsAirTagPrefix
+)
+
+// Anti-stalking detection (the paper's Section 2 countermeasures).
+type (
+	// StalkScenario generates a victim's beacon observation stream.
+	StalkScenario = antistalk.StalkScenario
+	// StalkOutcome summarizes one detection evaluation.
+	StalkOutcome = antistalk.Outcome
+)
+
+var (
+	// NewVendorDetector is the built-in same-vendor protection.
+	NewVendorDetector = antistalk.NewVendorDetector
+	// NewAirGuardDetector is the third-party scanner design.
+	NewAirGuardDetector = antistalk.NewAirGuardDetector
+	// EvaluateDetector runs a detector over an observation stream.
+	EvaluateDetector = antistalk.Evaluate
+	// RotationSweep evaluates detectors against rotation periods.
+	RotationSweep = antistalk.RotationSweep
+)
+
+// Mobility models for composing custom scenarios.
+type (
+	// MobilityModel yields a position at any virtual time.
+	MobilityModel = mobility.Model
+	// Itinerary is a timed sequence of stays and moves.
+	Itinerary = mobility.Itinerary
+)
+
+// ReproduceAll runs every experiment and writes the paper-shaped tables to
+// w — the backbone of cmd/tagrepro and EXPERIMENTS.md.
+func ReproduceAll(w io.Writer, opts CampaignOptions) error {
+	write := func(s string) error {
+		_, err := io.WriteString(w, s+"\n")
+		return err
+	}
+	if err := write(Figure2(opts.Seed).Render()); err != nil {
+		return err
+	}
+	cafDays := 5
+	if opts.Scale > 0 && opts.Scale < 0.5 {
+		cafDays = 2
+	}
+	if err := write(Figure3(opts.Seed, cafDays).Render()); err != nil {
+		return err
+	}
+	if err := write(Figure4(opts.Seed, cafDays).Render()); err != nil {
+		return err
+	}
+	if err := write(Battery().Render()); err != nil {
+		return err
+	}
+	c := NewCampaign(opts)
+	if err := write(Table1(c).Render()); err != nil {
+		return err
+	}
+	for _, radius := range []float64{10, 25, 100} {
+		if err := write(Figure5Sweep(c, radius).Render()); err != nil {
+			return err
+		}
+	}
+	if err := write(Figure5d(c).Render()); err != nil {
+		return err
+	}
+	if err := write(Figure5e(c).Render()); err != nil {
+		return err
+	}
+	if err := write(Figure5f(c).Render()); err != nil {
+		return err
+	}
+	if err := write(Figure6(c, "AE").Render()); err != nil {
+		return err
+	}
+	if err := write(Figure7(c).Render()); err != nil {
+		return err
+	}
+	if err := write(Figure8(c).Render()); err != nil {
+		return err
+	}
+	if err := write(Headline(c).Render()); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"
+
+// String returns a short banner.
+func String() string {
+	return fmt.Sprintf("tagsim %s — IMC'23 'I Tag, You Tag, Everybody Tags!' reproduction", Version)
+}

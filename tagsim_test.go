@@ -1,0 +1,79 @@
+package tagsim_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"tagsim"
+)
+
+func TestBanner(t *testing.T) {
+	if !strings.Contains(tagsim.String(), "IMC'23") {
+		t.Error("banner missing")
+	}
+}
+
+func TestFacadeControlledExperiments(t *testing.T) {
+	fig2 := tagsim.Figure2(1)
+	if len(fig2.Rows) != 8 {
+		t.Fatalf("figure 2 rows = %d", len(fig2.Rows))
+	}
+	bat := tagsim.Battery()
+	if bat.Ratio < 1.1 || bat.Ratio > 1.3 {
+		t.Errorf("battery ratio %v", bat.Ratio)
+	}
+}
+
+func TestFacadeBeaconPipeline(t *testing.T) {
+	rx := tagsim.SecludedRSSI(tagsim.SecludedConfig{Seed: 1, Duration: time.Minute})
+	if len(rx) == 0 {
+		t.Fatal("no beacons")
+	}
+	// The profiles expose the radio constants.
+	if tagsim.AirTagProfile().AdvInterval <= tagsim.SmartTagProfile().AdvInterval {
+		t.Error("SmartTag must advertise faster")
+	}
+	if !tagsim.IsAirTagPrefix([]byte{0x1E, 0xFF, 0x4C, 0x00, 0x12, 0x00}) {
+		t.Error("prefix check broken through facade")
+	}
+}
+
+func TestFacadeMiniWildAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mini campaign")
+	}
+	res := tagsim.RunWild(tagsim.WildConfig{
+		Seed: 5,
+		Countries: []tagsim.CountrySpec{{
+			Code: "QQ", Cities: 1, Days: 1, WalkKm: 3, JogKm: 2, TransitKm: 25,
+			Center:         tagsim.LatLon{Lat: 45.46, Lon: 9.19},
+			CityPopulation: 120000, AppleShare: 0.6, SamsungShare: 0.15,
+		}},
+		DevicesPerCity: 250,
+	})
+	cr := res.Countries[0]
+	homes := tagsim.DetectHomes(cr.Dataset.GroundTruth, 300)
+	kept, _ := tagsim.FilterNearHomes(cr.Dataset.GroundTruth, homes, 300)
+	truth := tagsim.NewTruthIndex(kept)
+	acc := tagsim.Accuracy(truth, cr.Dataset.CrawlsFor(tagsim.VendorCombined),
+		time.Hour, 100, cr.Start, cr.End)
+	if acc.Buckets == 0 {
+		t.Fatal("no buckets through the facade")
+	}
+}
+
+func TestFacadeStalkingPipeline(t *testing.T) {
+	stream := tagsim.StalkScenario{Seed: 2, Duration: 8 * time.Hour, SameVendor: true}.Generate()
+	if len(stream) == 0 {
+		t.Fatal("no observations")
+	}
+	out := tagsim.EvaluateDetector(tagsim.NewAirGuardDetector(), stream)
+	if out.AddressesSeen == 0 {
+		t.Error("no pseudonyms observed")
+	}
+	sig, _ := tagsim.WelchTTest([]float64{1, 2, 3, 4}, []float64{11, 12, 13, 14})
+	if tagsim.Stars(sig.P) == "ns" {
+		t.Error("obvious difference should be significant")
+	}
+}
