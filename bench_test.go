@@ -272,6 +272,51 @@ func BenchmarkCampaignSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkCampaignSimulationParallel times the same eight-country
+// campaign across worker counts; the workers=1 case is the sequential
+// baseline the speedup is measured against. The output is identical for
+// every worker count (see internal/runner), so the variants are
+// directly comparable.
+func BenchmarkCampaignSimulationParallel(b *testing.B) {
+	countries := make([]tagsim.CountrySpec, 8)
+	for i := range countries {
+		countries[i] = tagsim.CountrySpec{
+			Code: fmt.Sprintf("P%d", i), Cities: 1, Days: 1, WalkKm: 3, JogKm: 3, TransitKm: 30,
+			Center:         tagsim.LatLon{Lat: 24.45 + float64(i), Lon: 54.38},
+			CityPopulation: 150000, AppleShare: 0.6, SamsungShare: 0.15,
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tagsim.RunWild(tagsim.WildConfig{
+					Seed:           int64(i + 1),
+					Countries:      countries,
+					Workers:        workers,
+					DevicesPerCity: 300,
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignReplicates times the multi-replicate fan-out that
+// the scenario-diversity workload rides on (all replicate worlds share
+// one pool).
+func BenchmarkCampaignReplicates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tagsim.RunWildReplicates(tagsim.WildConfig{
+			Seed: int64(i + 1),
+			Countries: []tagsim.CountrySpec{{
+				Code: "BB", Cities: 1, Days: 1, WalkKm: 3, JogKm: 3, TransitKm: 30,
+				Center:         tagsim.LatLon{Lat: 24.45, Lon: 54.38},
+				CityPopulation: 150000, AppleShare: 0.6, SamsungShare: 0.15,
+			}},
+			DevicesPerCity: 300,
+		}, 4)
+	}
+}
+
 // BenchmarkAblationCrossEcosystem compares the paper's combined-analysis
 // emulation against a true cross-ecosystem world where each vendor's
 // devices report both tags (DESIGN.md ablation 4).

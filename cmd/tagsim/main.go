@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	tagsim -scenario wild|cafeteria -seed N -out DIR [-scale F]
+//	tagsim -scenario wild|cafeteria -seed N -out DIR [-scale F] [-workers N] [-replicates N]
+//
+// -workers fans the wild campaign's country worlds across CPUs (0 = one
+// per CPU) without changing any output. -replicates N > 1 runs the wild
+// campaign from N derived seeds and writes each replicate's traces under
+// DIR/repNNN/.
 package main
 
 import (
@@ -24,6 +29,8 @@ func main() {
 	scenarioName := flag.String("scenario", "wild", "scenario to run: wild or cafeteria")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.1, "wild campaign scale")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = sequential)")
+	replicates := flag.Int("replicates", 1, "wild campaign replicates to run from derived seeds")
 	out := flag.String("out", "traces", "output directory")
 	flag.Parse()
 
@@ -32,7 +39,7 @@ func main() {
 	}
 	switch *scenarioName {
 	case "wild":
-		runWild(*seed, *scale, *out)
+		runWild(*seed, *scale, *workers, *replicates, *out)
 	case "cafeteria":
 		runCafeteria(*seed, *out)
 	default:
@@ -40,8 +47,28 @@ func main() {
 	}
 }
 
-func runWild(seed int64, scale float64, out string) {
-	res := tagsim.RunWild(tagsim.WildConfig{Seed: seed, Scale: scale})
+func runWild(seed int64, scale float64, workers, replicates int, out string) {
+	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers}
+	if replicates <= 1 {
+		writeWildTraces(tagsim.RunWild(cfg), out)
+		return
+	}
+	// One replicate at a time (countries still parallel within each),
+	// flushed to disk before the next starts, so peak memory stays at
+	// one campaign no matter how many replicates are requested.
+	for r := 0; r < replicates; r++ {
+		rcfg := cfg
+		rcfg.Seed = tagsim.ReplicateSeed(seed, r)
+		dir := filepath.Join(out, fmt.Sprintf("rep%03d", r))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("replicate %d (seed %d):", r, rcfg.Seed)
+		writeWildTraces(tagsim.RunWild(rcfg), dir)
+	}
+}
+
+func writeWildTraces(res *tagsim.WildResult, out string) {
 	for _, cr := range res.Countries {
 		gtPath := filepath.Join(out, fmt.Sprintf("groundtruth_%s.csv", cr.Spec.Code))
 		writeFile(gtPath, func(f *os.File) error {

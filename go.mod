@@ -1,0 +1,3 @@
+module tagsim
+
+go 1.24

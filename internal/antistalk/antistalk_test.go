@@ -137,7 +137,7 @@ func TestRotationDefeatsDetectors(t *testing.T) {
 	// With 15-minute rotation (SmartTag-style), each pseudonym lives far
 	// too briefly for either detector.
 	sweep := RotationSweep(3, 24*time.Hour, []time.Duration{
-		tagkeys.SmartTagRotation,   // 15 min
+		tagkeys.SmartTagRotation,        // 15 min
 		tagkeys.AirTagSeparatedRotation, // 24 h
 	})
 	fast, slow := sweep[0], sweep[1]

@@ -112,7 +112,7 @@ func TestOCRNoise(t *testing.T) {
 		if r.AgeMinutes < 0 {
 			t.Fatal("negative age")
 		}
-		trueAge := int(r.CrawlT.Sub(t0.Add(30 * time.Second)) / time.Minute)
+		trueAge := int(r.CrawlT.Sub(t0.Add(30*time.Second)) / time.Minute)
 		if r.AgeMinutes != trueAge {
 			deviated = true
 		}

@@ -11,6 +11,7 @@ import (
 
 	"tagsim/internal/analysis"
 	"tagsim/internal/geo"
+	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
 	"tagsim/internal/trace"
 )
@@ -21,11 +22,25 @@ type Options struct {
 	Seed           int64
 	Scale          float64
 	DevicesPerCity int
+	// Workers bounds how many independent simulation worlds (countries,
+	// replicates, figure computations) run concurrently: 0 means one per
+	// CPU, 1 is fully sequential. Results are identical for any value.
+	Workers int
 }
 
 // DefaultOptions is sized to regenerate every figure in tens of seconds.
 func DefaultOptions() Options {
 	return Options{Seed: 1, Scale: 0.25, DevicesPerCity: 500}
+}
+
+// wildConfig translates campaign options into the scenario config.
+func (o Options) wildConfig() scenario.WildConfig {
+	return scenario.WildConfig{
+		Seed:           o.Seed,
+		Scale:          o.Scale,
+		DevicesPerCity: o.DevicesPerCity,
+		Workers:        o.Workers,
+	}
 }
 
 // Campaign is one executed in-the-wild campaign with its analysis
@@ -52,11 +67,13 @@ func NewCampaign(opts Options) *Campaign {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
 	}
-	res := scenario.RunWild(scenario.WildConfig{
-		Seed:           opts.Seed,
-		Scale:          opts.Scale,
-		DevicesPerCity: opts.DevicesPerCity,
-	})
+	return newCampaignFromResult(opts, scenario.RunWild(opts.wildConfig()))
+}
+
+// newCampaignFromResult prepares the shared analysis state over an
+// already-simulated campaign (NewCampaign's second half, reused by the
+// replicate fan-out so simulation and analysis parallelize separately).
+func newCampaignFromResult(opts Options, res *scenario.WildResult) *Campaign {
 	merged := res.MergedDataset()
 
 	var homes []geo.LatLon
@@ -74,8 +91,13 @@ func NewCampaign(opts Options) *Campaign {
 		RemovedFrac:    removed,
 		filteredCrawls: make(map[trace.Vendor][]trace.CrawlRecord),
 	}
-	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung, trace.VendorCombined} {
-		c.filteredCrawls[v] = analysis.FilterCrawlsNearHomes(merged.CrawlsFor(v), homes, 300)
+	// The per-vendor home filters are independent passes over disjoint
+	// outputs; fan them out on the same worker knob.
+	filtered := runner.Map(opts.Workers, len(Vendors), func(i int) []trace.CrawlRecord {
+		return analysis.FilterCrawlsNearHomes(merged.CrawlsFor(Vendors[i]), homes, 300)
+	})
+	for i, v := range Vendors {
+		c.filteredCrawls[v] = filtered[i]
 	}
 	c.From, c.To = res.Span()
 	return c

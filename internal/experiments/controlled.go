@@ -78,15 +78,15 @@ func (r *Figure2Result) Render() string {
 
 // Figure3Row is one hour of Figure 3.
 type Figure3Row struct {
-	Hour        int
-	AppleCount  float64
-	AppleStd    float64
-	SamsungCnt  float64
-	SamsungStd  float64
-	AirTagRate  float64
-	AirStd      float64
-	SmartRate   float64
-	SmartStd    float64
+	Hour       int
+	AppleCount float64
+	AppleStd   float64
+	SamsungCnt float64
+	SamsungStd float64
+	AirTagRate float64
+	AirStd     float64
+	SmartRate  float64
+	SmartStd   float64
 }
 
 // Figure3Result reproduces Figure 3 (cafeteria update rates vs hour).

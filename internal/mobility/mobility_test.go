@@ -125,8 +125,8 @@ func TestItineraryDistances(t *testing.T) {
 	b := geo.Destination(origin, 0, 1000)
 	c := geo.Destination(b, 0, 2000)
 	it := NewItinerary(start,
-		Move{Along: geo.Path{origin, b}, SpeedKmh: 5},  // walk 1 km
-		Move{Along: geo.Path{b, c}, SpeedKmh: 30},      // transit 2 km
+		Move{Along: geo.Path{origin, b}, SpeedKmh: 5}, // walk 1 km
+		Move{Along: geo.Path{b, c}, SpeedKmh: 30},     // transit 2 km
 		Stay{At: c, For: time.Hour},
 	)
 	if d := it.TotalDistanceM(); math.Abs(d-3000) > 5 {

@@ -1,0 +1,99 @@
+// Package runner executes independent simulation worlds concurrently.
+//
+// Every world in this codebase (a country's stay, a replicate of a
+// campaign, a figure computation) is deterministic and self-contained:
+// it owns its sim.Engine, derives every random draw from named streams
+// of its own seed, and shares no mutable state with its siblings. That
+// makes scheduling them a pure fan-out problem — the pool runs jobs in
+// any interleaving and reassembles results strictly by index, so output
+// is byte-identical for any worker count, including 1.
+//
+// The determinism contract callers must uphold: fn(i) may depend only
+// on i and on immutable captured state. A job that reads another job's
+// result, a shared RNG, or a package-level variable breaks the
+// contract (and the race detector will say so).
+package runner
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 mean "one worker
+// per available CPU" (runtime.GOMAXPROCS), and the count is clamped to
+// n so a tiny batch never spawns idle goroutines.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Map runs fn(0..n-1) across a pool of workers and returns the results
+// in index order. workers <= 0 uses one worker per CPU; workers == 1
+// runs inline on the calling goroutine, byte-identical to a plain loop.
+// A panic in any job stops workers from claiming further jobs, and the
+// original panic value is re-raised on the caller's goroutine once
+// in-flight jobs drain — so type-based recovers behave the same at
+// every worker count.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64 // next unclaimed job index
+		wg       sync.WaitGroup
+		aborted  atomic.Bool // set on panic so workers stop claiming
+		panicMu  sync.Mutex
+		panicked any // first panic observed, re-raised by the caller
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || aborted.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							aborted.Store(true)
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		// Re-raise the original value so type-based recovers behave the
+		// same at every worker count (the worker's stack is lost either
+		// way once its goroutine unwinds).
+		panic(panicked)
+	}
+	return out
+}

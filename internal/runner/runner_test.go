@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	cases := []struct {
+		workers, n, want int
+	}{
+		// n far above any plausible CPU count, so the clamp can't mask
+		// the GOMAXPROCS default.
+		{0, 1 << 20, runtime.GOMAXPROCS(0)},
+		{-3, 1 << 20, runtime.GOMAXPROCS(0)},
+		{4, 2, 2},  // clamped to batch size
+		{1, 50, 1}, // explicit sequential
+		{8, 8, 8},
+		{3, 0, 1}, // degenerate batch still yields a valid count
+	}
+	for _, c := range cases {
+		if got := Workers(c.workers, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Errorf("Map with n=0 = %v, want nil", got)
+	}
+}
+
+// TestMapDeterministicUnderJitter checks the core contract: results are
+// identical for any worker count even when job completion order is
+// scrambled by random sleeps.
+func TestMapDeterministicUnderJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 64)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	job := func(i int) string {
+		time.Sleep(delays[i])
+		return fmt.Sprintf("world-%03d", i)
+	}
+	want := Map(1, len(delays), job)
+	for _, workers := range []int{2, 4, 8} {
+		got := Map(workers, len(delays), job)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapBoundsConcurrency verifies the pool never runs more jobs at
+// once than requested workers.
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, peak atomic.Int64
+	Map(workers, 50, func(i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inFlight.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak in-flight jobs = %d, want <= %d", p, workers)
+	}
+}
+
+func TestMapActuallyParallel(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single-CPU machine cannot demonstrate overlap")
+	}
+	var inFlight, peak atomic.Int64
+	Map(4, 16, func(i int) int {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inFlight.Add(-1)
+		return i
+	})
+	if peak.Load() < 2 {
+		t.Error("no two jobs ever overlapped despite 4 workers")
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if s := fmt.Sprint(r); !strings.Contains(s, "boom") {
+					t.Errorf("workers=%d: panic value %q lost the cause", workers, s)
+				}
+			}()
+			Map(workers, 8, func(i int) int {
+				if i == 5 {
+					panic("boom")
+				}
+				return i
+			})
+		}()
+	}
+}
+
+// TestMapPanicKeepsType checks that the re-raised panic preserves the
+// original value, so type-based recover logic behaves the same at every
+// worker count.
+func TestMapPanicKeepsType(t *testing.T) {
+	sentinel := errors.New("typed panic")
+	defer func() {
+		if r := recover(); !errors.Is(r.(error), sentinel) {
+			t.Fatalf("panic value = %#v, want the original error", r)
+		}
+	}()
+	Map(4, 8, func(i int) int {
+		if i == 2 {
+			panic(sentinel)
+		}
+		return i
+	})
+}

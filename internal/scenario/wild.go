@@ -14,6 +14,7 @@ import (
 	"tagsim/internal/geo"
 	"tagsim/internal/mobility"
 	"tagsim/internal/population"
+	"tagsim/internal/runner"
 	"tagsim/internal/sim"
 	"tagsim/internal/tag"
 	"tagsim/internal/trace"
@@ -48,6 +49,12 @@ type WildConfig struct {
 	DevicesPerCity int
 	// CityRadiusKm bounds each synthetic city (default 2).
 	CityRadiusKm float64
+	// Workers bounds how many country worlds run concurrently: 0 means
+	// one per CPU, 1 reproduces the historical sequential behavior.
+	// Every country is a self-contained world with its own engine and
+	// seed-derived RNG streams, so the output is identical for any
+	// value (see internal/runner).
+	Workers int
 }
 
 func (c *WildConfig) defaults() {
@@ -112,26 +119,110 @@ func (w *WildResult) Span() (from, to time.Time) {
 	return w.Countries[0].Start, w.Countries[len(w.Countries)-1].End
 }
 
-// RunWild simulates the full campaign, one country at a time (countries
-// are independent worlds occupying consecutive time windows).
-func RunWild(cfg WildConfig) *WildResult {
+// CountryJob is one self-contained, schedulable unit of the campaign: a
+// single country's world, with everything needed to build and run it.
+// Jobs carry no shared mutable state — each builds its own sim.Engine
+// seeded from (Seed, Index) — so the pool may execute them in any
+// interleaving and the results are identical to a sequential run.
+type CountryJob struct {
+	Cfg   WildConfig
+	Spec  CountrySpec
+	Index int
+	// Start opens this country's time window; windows are consecutive
+	// and disjoint across the campaign.
+	Start time.Time
+	// Days is the stay length after scaling.
+	Days int
+}
+
+// PlanWild lays out the campaign schedule without running anything.
+// Each country's window follows the previous one's end, which depends
+// only on the scaled stay lengths — so every job's start is known up
+// front and jobs need no predecessor's output.
+func PlanWild(cfg WildConfig) []CountryJob {
 	cfg.defaults()
-	res := &WildResult{}
+	jobs := make([]CountryJob, 0, len(cfg.Countries))
 	start := CampaignStart
 	for ci, spec := range cfg.Countries {
 		days := int(float64(spec.Days)*cfg.Scale + 0.5)
 		if days < 1 {
 			days = 1
 		}
-		cr := runCountry(cfg, spec, ci, start, days)
-		res.Countries = append(res.Countries, cr)
-		start = cr.End
+		jobs = append(jobs, CountryJob{Cfg: cfg, Spec: spec, Index: ci, Start: start, Days: days})
+		start = start.Add(time.Duration(days) * 24 * time.Hour)
 	}
-	return res
+	return jobs
 }
 
-// runCountry simulates one country's stay.
-func runCountry(cfg WildConfig, spec CountrySpec, index int, start time.Time, days int) CountryResult {
+// Run executes the job: build the world, then run it to completion.
+func (j CountryJob) Run() CountryResult { return j.build().run() }
+
+// RunWild simulates the full campaign. Countries are independent worlds
+// occupying consecutive time windows, so they run concurrently on
+// cfg.Workers workers and are reassembled in spec order.
+func RunWild(cfg WildConfig) *WildResult {
+	jobs := PlanWild(cfg) // PlanWild applies the config defaults
+
+	return &WildResult{Countries: runner.Map(cfg.Workers, len(jobs), func(i int) CountryResult {
+		return jobs[i].Run()
+	})}
+}
+
+// replicateSeedStride separates replicate seed spaces. It dwarfs every
+// intra-campaign seed offset (countries use index*1000, tags index*10),
+// so replicate streams can never collide.
+const replicateSeedStride = 1 << 20
+
+// ReplicateSeed derives the base seed of replicate r; replicate 0 keeps
+// the base seed, so the first replicate reproduces RunWild exactly.
+func ReplicateSeed(base int64, r int) int64 { return base + int64(r)*replicateSeedStride }
+
+// RunWildReplicates fans the same campaign config across n seeds and
+// returns one WildResult per replicate, in replicate order. All
+// (replicate, country) worlds are flattened into a single pool
+// submission, so a machine with more cores than countries still
+// saturates. Peak memory holds all n results at once; size large
+// sweeps accordingly (or run them in batches).
+func RunWildReplicates(cfg WildConfig, n int) []*WildResult {
+	if n <= 0 {
+		return nil
+	}
+	cfg.defaults()
+	jobs := make([]CountryJob, 0, n*len(cfg.Countries))
+	for r := 0; r < n; r++ {
+		rcfg := cfg
+		rcfg.Seed = ReplicateSeed(cfg.Seed, r)
+		jobs = append(jobs, PlanWild(rcfg)...)
+	}
+	results := runner.Map(cfg.Workers, len(jobs), func(i int) CountryResult {
+		return jobs[i].Run()
+	})
+	per := len(cfg.Countries)
+	out := make([]*WildResult, n)
+	for r := 0; r < n; r++ {
+		out[r] = &WildResult{Countries: results[r*per : (r+1)*per : (r+1)*per]}
+	}
+	return out
+}
+
+// countryWorld is a fully built, ready-to-run country: the build phase
+// (geography, fleet, itinerary, tags, instruments) is separated from the
+// run phase so each stays on the job's own engine and either can be
+// profiled on its own.
+type countryWorld struct {
+	job            CountryJob
+	e              *sim.Engine
+	end            time.Time
+	itin           *mobility.Itinerary
+	pop            *population.Map // primary city raster (Figures 6-7)
+	vp             *vantage.VantagePoint
+	appleCrawler   *crawler.Crawler
+	samsungCrawler *crawler.Crawler
+}
+
+// build constructs the country's world on a fresh engine.
+func (j CountryJob) build() *countryWorld {
+	cfg, spec, index, start, days := j.Cfg, j.Spec, j.Index, j.Start, j.Days
 	e := sim.NewEngine(start, cfg.Seed+int64(index)*1000)
 	rng := e.RNG("country/" + spec.Code)
 	end := start.Add(time.Duration(days) * 24 * time.Hour)
@@ -294,28 +385,43 @@ func runCountry(cfg WildConfig, spec CountrySpec, index int, start time.Time, da
 	appleCrawler.Attach(e, start)
 	samsungCrawler.Attach(e, start)
 
-	e.RunUntil(end)
-	vp.Flush(end) // deliver whatever is still buffered
+	return &countryWorld{
+		job:            j,
+		e:              e,
+		end:            end,
+		itin:           itin,
+		pop:            pops[0],
+		vp:             vp,
+		appleCrawler:   appleCrawler,
+		samsungCrawler: samsungCrawler,
+	}
+}
 
-	gt := vp.Records()
+// run drives the world's engine to the end of the stay and collects the
+// country's campaign output.
+func (w *countryWorld) run() CountryResult {
+	w.e.RunUntil(w.end)
+	w.vp.Flush(w.end) // deliver whatever is still buffered
+
+	gt := w.vp.Records()
 	ds := analysis.NewDataset(gt, map[trace.Vendor][]trace.CrawlRecord{
-		trace.VendorApple:   appleCrawler.Records(),
-		trace.VendorSamsung: samsungCrawler.Records(),
+		trace.VendorApple:   w.appleCrawler.Records(),
+		trace.VendorSamsung: w.samsungCrawler.Records(),
 	})
 	kmByClass := make(map[mobility.SpeedClass]float64)
-	for cls, m := range itin.DistanceByClass() {
+	for cls, m := range w.itin.DistanceByClass() {
 		kmByClass[cls] += m / 1000
 	}
 	return CountryResult{
-		Spec:       spec,
-		Days:       days,
-		Start:      start,
-		End:        end,
+		Spec:       w.job.Spec,
+		Days:       w.job.Days,
+		Start:      w.job.Start,
+		End:        w.end,
 		Dataset:    ds,
-		AppleNow:   appleCrawler.NowCount(),
-		SamsungNow: samsungCrawler.NowCount(),
+		AppleNow:   w.appleCrawler.NowCount(),
+		SamsungNow: w.samsungCrawler.NowCount(),
 		KmByClass:  kmByClass,
-		Population: pops[0],
+		Population: w.pop,
 		Homes:      analysis.DetectHomes(gt, 300),
 	}
 }
@@ -593,13 +699,6 @@ func detourPath(home, venue geo.LatLon, targetM float64, rng *rand.Rand) geo.Pat
 	perp := geo.Bearing(home, venue) + side
 	detour := geo.Destination(mid, perp, h)
 	return geo.Path{home, detour, venue}
-}
-
-func abs(v float64) float64 {
-	if v < 0 {
-		return -v
-	}
-	return v
 }
 
 // nearestVenue returns the closest venue within maxM of p.

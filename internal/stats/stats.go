@@ -55,12 +55,12 @@ func StdErr(xs []float64) float64 {
 // Summary bundles the descriptive statistics reported throughout the
 // experiment tables.
 type Summary struct {
-	N              int
-	Mean, Std      float64
-	Min, Max       float64
-	Median         float64
-	P25, P75       float64
-	StdErr, CI95   float64 // CI95 is the half-width of the 95% interval
+	N            int
+	Mean, Std    float64
+	Min, Max     float64
+	Median       float64
+	P25, P75     float64
+	StdErr, CI95 float64 // CI95 is the half-width of the 95% interval
 }
 
 // Summarize computes a Summary. For N < 2 the spread fields are NaN.

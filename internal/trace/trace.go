@@ -84,7 +84,7 @@ type GroundTruth struct {
 // device heard a tag's beacon and uploaded its own GPS position as the
 // tag's approximate location.
 type Report struct {
-	T          time.Time  `json:"t"`   // when the cloud accepted the report
+	T          time.Time  `json:"t"`        // when the cloud accepted the report
 	HeardAt    time.Time  `json:"heard_at"` // when the beacon was received
 	TagID      string     `json:"tag_id"`
 	Vendor     Vendor     `json:"vendor"`

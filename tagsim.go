@@ -31,6 +31,7 @@ import (
 	"tagsim/internal/experiments"
 	"tagsim/internal/geo"
 	"tagsim/internal/mobility"
+	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
 	"tagsim/internal/stats"
 	"tagsim/internal/tag"
@@ -61,15 +62,28 @@ const (
 
 // Campaign types and experiment entry points.
 type (
-	// CampaignOptions sizes the in-the-wild campaign.
+	// CampaignOptions sizes the in-the-wild campaign. Workers bounds how
+	// many independent worlds simulate concurrently (0 = one per CPU);
+	// output is identical for any value.
 	CampaignOptions = experiments.Options
 	// Campaign is one executed in-the-wild campaign with its analysis
 	// state (shared by Table 1 and Figures 5-8).
 	Campaign = experiments.Campaign
+	// ReplicateSet bundles N same-config campaigns run from distinct
+	// derived seeds, with across-replicate mean ± spread aggregates.
+	ReplicateSet = experiments.ReplicateSet
+	// ReplicateStat is one across-replicate aggregate (mean, std, N).
+	ReplicateStat = experiments.ReplicateStat
 )
 
 // NewCampaign runs the six-country in-the-wild campaign.
 func NewCampaign(opts CampaignOptions) *Campaign { return experiments.NewCampaign(opts) }
+
+// CampaignReplicates fans the campaign across n derived seeds on one
+// shared worker pool and bundles the runs for aggregate analysis.
+func CampaignReplicates(opts CampaignOptions, n int) *ReplicateSet {
+	return experiments.CampaignReplicates(opts, n)
+}
 
 // DefaultCampaignOptions is sized to regenerate every figure in tens of
 // seconds; set Scale to 1 for the paper's full 120 days.
@@ -109,6 +123,12 @@ var (
 type (
 	// WildConfig parameterizes a custom in-the-wild campaign.
 	WildConfig = scenario.WildConfig
+	// WildResult is a full campaign's output, one entry per country.
+	WildResult = scenario.WildResult
+	// CountryResult is one country's campaign output.
+	CountryResult = scenario.CountryResult
+	// CountryJob is one schedulable country world (see PlanWild).
+	CountryJob = scenario.CountryJob
 	// CountrySpec is one Table 1 row worth of campaign.
 	CountrySpec = scenario.CountrySpec
 	// CafeteriaConfig parameterizes the instrumented cafeteria.
@@ -119,8 +139,15 @@ type (
 
 // Scenario runners.
 var (
-	// RunWild simulates an in-the-wild campaign.
+	// RunWild simulates an in-the-wild campaign, countries in parallel
+	// on WildConfig.Workers workers.
 	RunWild = scenario.RunWild
+	// RunWildReplicates fans one campaign config across n seeds.
+	RunWildReplicates = scenario.RunWildReplicates
+	// PlanWild lays out a campaign's CountryJobs without running them.
+	PlanWild = scenario.PlanWild
+	// ReplicateSeed derives the base seed of replicate r.
+	ReplicateSeed = scenario.ReplicateSeed
 	// RunCafeteria simulates the cafeteria deployment.
 	RunCafeteria = scenario.RunCafeteria
 	// SecludedRSSI runs the controlled RSSI measurement.
@@ -218,59 +245,69 @@ type (
 )
 
 // ReproduceAll runs every experiment and writes the paper-shaped tables to
-// w — the backbone of cmd/tagrepro and EXPERIMENTS.md.
+// w — the backbone of cmd/tagrepro and EXPERIMENTS.md. Independent
+// computations fan out on opts.Workers workers (0 = one per CPU) while
+// the output keeps its fixed order; the rendered text is identical for
+// any worker count.
 func ReproduceAll(w io.Writer, opts CampaignOptions) error {
-	write := func(s string) error {
-		_, err := io.WriteString(w, s+"\n")
-		return err
-	}
-	if err := write(Figure2(opts.Seed).Render()); err != nil {
-		return err
-	}
 	cafDays := 5
 	if opts.Scale > 0 && opts.Scale < 0.5 {
 		cafDays = 2
 	}
-	if err := write(Figure3(opts.Seed, cafDays).Render()); err != nil {
-		return err
+	write := func(renderings []string) error {
+		for _, s := range renderings {
+			if _, err := io.WriteString(w, s+"\n"); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	if err := write(Figure4(opts.Seed, cafDays).Render()); err != nil {
-		return err
+	// renderAll evaluates a batch of independent renderings on the
+	// worker pool and writes them in order. At one effective worker it
+	// streams each rendering as computed — the historical sequential
+	// behavior, where a dead writer also stops further computation.
+	renderAll := func(jobs []func() string) error {
+		if runner.Workers(opts.Workers, len(jobs)) == 1 {
+			for _, job := range jobs {
+				if err := write([]string{job()}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return write(runner.Map(opts.Workers, len(jobs), func(i int) string { return jobs[i]() }))
 	}
-	if err := write(Battery().Render()); err != nil {
+	// The stages run back to back rather than nested, so the Workers
+	// cap on concurrent worlds holds exactly throughout: first the
+	// controlled experiments (written before the expensive campaign
+	// starts, which also surfaces writer errors early), then the
+	// campaign simulation (internally parallel over countries), then
+	// the figures over the shared campaign — each an independent
+	// read-only analysis pass.
+	controlled := []func() string{
+		func() string { return Figure2(opts.Seed).Render() },
+		func() string { return Figure3(opts.Seed, cafDays).Render() },
+		func() string { return Figure4(opts.Seed, cafDays).Render() },
+		func() string { return Battery().Render() },
+	}
+	if err := renderAll(controlled); err != nil {
 		return err
 	}
 	c := NewCampaign(opts)
-	if err := write(Table1(c).Render()); err != nil {
-		return err
+	figures := []func() string{
+		func() string { return Table1(c).Render() },
+		func() string { return Figure5Sweep(c, 10).Render() },
+		func() string { return Figure5Sweep(c, 25).Render() },
+		func() string { return Figure5Sweep(c, 100).Render() },
+		func() string { return Figure5d(c).Render() },
+		func() string { return Figure5e(c).Render() },
+		func() string { return Figure5f(c).Render() },
+		func() string { return Figure6(c, "AE").Render() },
+		func() string { return Figure7(c).Render() },
+		func() string { return Figure8(c).Render() },
+		func() string { return Headline(c).Render() },
 	}
-	for _, radius := range []float64{10, 25, 100} {
-		if err := write(Figure5Sweep(c, radius).Render()); err != nil {
-			return err
-		}
-	}
-	if err := write(Figure5d(c).Render()); err != nil {
-		return err
-	}
-	if err := write(Figure5e(c).Render()); err != nil {
-		return err
-	}
-	if err := write(Figure5f(c).Render()); err != nil {
-		return err
-	}
-	if err := write(Figure6(c, "AE").Render()); err != nil {
-		return err
-	}
-	if err := write(Figure7(c).Render()); err != nil {
-		return err
-	}
-	if err := write(Figure8(c).Render()); err != nil {
-		return err
-	}
-	if err := write(Headline(c).Render()); err != nil {
-		return err
-	}
-	return nil
+	return renderAll(figures)
 }
 
 // Version identifies this reproduction release.

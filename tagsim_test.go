@@ -63,6 +63,33 @@ func TestFacadeMiniWildAnalysis(t *testing.T) {
 	}
 }
 
+// TestReproduceAllParallelDeterminism drives the full evaluation through
+// the facade at several worker counts: the rendered output must be
+// byte-identical, and CI's -race run on this package exercises the
+// concurrent figure passes over the shared campaign.
+func TestReproduceAllParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two mini campaigns")
+	}
+	render := func(workers int) string {
+		var b strings.Builder
+		opts := tagsim.CampaignOptions{Seed: 3, Scale: 0.02, DevicesPerCity: 60, Workers: workers}
+		if err := tagsim.ReproduceAll(&b, opts); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return b.String()
+	}
+	sequential := render(1)
+	for _, want := range []string{"Figure 2", "Table 1", "Figure 8", "Headline"} {
+		if !strings.Contains(sequential, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if parallel := render(8); parallel != sequential {
+		t.Errorf("workers=8 output differs from workers=1 (%d vs %d bytes)", len(parallel), len(sequential))
+	}
+}
+
 func TestFacadeStalkingPipeline(t *testing.T) {
 	stream := tagsim.StalkScenario{Seed: 2, Duration: 8 * time.Hour, SameVendor: true}.Generate()
 	if len(stream) == 0 {
