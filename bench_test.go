@@ -317,6 +317,74 @@ func BenchmarkCampaignReplicates(b *testing.B) {
 	}
 }
 
+// benchStoreClients is the concurrent-client count the serving-store
+// benchmarks contend with. On a multi-core box shards=1 serializes all
+// clients on one mutex while shards=16 lets them proceed in parallel,
+// so the multi-shard variants should clear 2x the single-shard ops/sec;
+// a single-core runner timeshares the clients and only surfaces the
+// (small) reduction in lock-handoff overhead.
+const benchStoreClients = 8
+
+// BenchmarkStoreIngest sweeps the sharded report store's write path
+// across shard counts: 8 closed-loop writers, each appending an
+// all-accepted report stream for its own tag. shards=1 serializes every
+// writer on one lock and is the contention baseline.
+func BenchmarkStoreIngest(b *testing.B) {
+	t0 := time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			st := tagsim.NewReportStore(shards)
+			per := (b.N + benchStoreClients - 1) / benchStoreClients
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < benchStoreClients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					r := tagsim.Report{TagID: fmt.Sprintf("bench-tag-%02d", c)}
+					for i := 0; i < per; i++ {
+						r.HeardAt = t0.Add(time.Duration(i) * time.Second)
+						r.T = r.HeardAt
+						st.Ingest(r)
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkStoreQuery sweeps the read path: 8 closed-loop readers
+// polling LastSeen round-robin over a 1024-tag store, the crawler's
+// access pattern at fleet scale.
+func BenchmarkStoreQuery(b *testing.B) {
+	t0 := time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			const nTags = 1024
+			st := tagsim.NewReportStore(shards)
+			tags := make([]string, nTags)
+			for i := range tags {
+				tags[i] = fmt.Sprintf("bench-tag-%04d", i)
+				st.Ingest(tagsim.Report{T: t0, HeardAt: t0, TagID: tags[i]})
+			}
+			per := (b.N + benchStoreClients - 1) / benchStoreClients
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < benchStoreClients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						st.LastSeen(tags[(c*131+i)%nTags])
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+}
+
 // BenchmarkAblationCrossEcosystem compares the paper's combined-analysis
 // emulation against a true cross-ecosystem world where each vendor's
 // devices report both tags (DESIGN.md ablation 4).

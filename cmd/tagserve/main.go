@@ -1,0 +1,189 @@
+// Command tagserve stands up the serving subsystem: it populates the
+// sharded report stores — by running an in-the-wild campaign or by
+// loading cmd/tagsim trace dumps — and exposes the vendor query API the
+// paper's crawlers reverse-engineered (/v1/lastknown, /v1/history,
+// /v1/track, /v1/stats, plus POST /v1/report for live ingest).
+//
+// By default it then turns the load harness on itself — a closed-loop,
+// Zipf-skewed query stream over real HTTP against an in-process
+// listener — and prints the throughput / latency-quantile report. With
+// -addr it keeps serving until killed.
+//
+// Usage:
+//
+//	tagserve [-seed N] [-scale F] [-workers N] [-devices N]   # simulate…
+//	tagserve -traces DIR                                      # …or load dumps
+//	         [-shards N] [-history-limit N]
+//	         [-load N] [-requests N] [-direct]
+//	         [-addr :8080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"tagsim"
+	"tagsim/internal/cloud"
+	"tagsim/internal/crawler"
+	"tagsim/internal/load"
+	"tagsim/internal/serve"
+	"tagsim/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tagserve: ")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	scale := flag.Float64("scale", 0.02, "wild campaign scale (1 = the paper's 120 days)")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU)")
+	devices := flag.Int("devices", 200, "reporting devices per simulated city")
+	traces := flag.String("traces", "", "load cmd/tagsim crawl dumps from this directory instead of simulating")
+	shards := flag.Int("shards", 16, "store shards per vendor service")
+	historyLimit := flag.Int("history-limit", 0, "retained accepted reports per tag (0 = unbounded)")
+	loadWorkers := flag.Int("load", 8, "load-harness client workers (0 disables the self-drive report)")
+	requests := flag.Int("requests", 4000, "total load-harness requests")
+	direct := flag.Bool("direct", false, "drive the stores directly instead of over HTTP")
+	addr := flag.String("addr", "", "serve the query API on this address until killed (empty: exit after the load report)")
+	flag.Parse()
+
+	var services map[trace.Vendor]*cloud.Service
+	var err error
+	if *traces != "" {
+		services, err = servicesFromTraces(*traces, *shards, *historyLimit)
+	} else {
+		services, err = servicesFromCampaign(*seed, *scale, *workers, *devices, *shards, *historyLimit)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var tags []string
+	seen := map[string]bool{}
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		svc, ok := services[v]
+		if !ok {
+			continue
+		}
+		log.Printf("%s", svc)
+		for _, id := range svc.TagIDs() {
+			if !seen[id] {
+				seen[id] = true
+				tags = append(tags, id)
+			}
+		}
+	}
+	sort.Strings(tags)
+	if len(tags) == 0 {
+		log.Fatal("no tags to serve")
+	}
+
+	handler := serve.NewServer(services)
+	if *loadWorkers > 0 {
+		cfg := load.Config{Workers: *loadWorkers, Requests: *requests, Seed: *seed, Tags: tags}
+		var target load.Target
+		if *direct {
+			log.Printf("load: %d workers x store surface (no HTTP)", *loadWorkers)
+			target = load.NewServiceTarget(services)
+		} else {
+			ts := httptest.NewServer(handler)
+			defer ts.Close()
+			log.Printf("load: %d workers over HTTP at %s", *loadWorkers, ts.URL)
+			target = load.NewHTTPTarget(ts.URL)
+		}
+		res, err := load.Run(cfg, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+	}
+	if *addr != "" {
+		log.Printf("serving the vendor query API on %s", *addr)
+		log.Fatal(http.ListenAndServe(*addr, handler))
+	}
+}
+
+// servicesFromCampaign simulates the wild campaign and restores every
+// country's accepted cloud state into fresh serving stores. Country
+// windows are consecutive and disjoint, so per-tag histories
+// concatenate in time order.
+func servicesFromCampaign(seed int64, scale float64, workers, devices, shards, historyLimit int) (map[trace.Vendor]*cloud.Service, error) {
+	log.Printf("simulating campaign (seed %d, scale %g)...", seed, scale)
+	res := tagsim.RunWild(tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices})
+	out := newServices(shards, historyLimit)
+	for _, cr := range res.Countries {
+		for v, svc := range cr.Clouds {
+			dst, ok := out[v]
+			if !ok {
+				continue
+			}
+			for _, tagID := range svc.TagIDs() {
+				dst.Register(tagID)
+				dst.Restore(svc.History(tagID))
+			}
+		}
+	}
+	return out, nil
+}
+
+// servicesFromTraces rebuilds serving state from cmd/tagsim crawl dumps
+// (crawls_*.csv): consecutive crawl polls that observed the same report
+// collapse to one distinct report each — the paper's own history
+// reconstruction — which then restores into the stores.
+func servicesFromTraces(dir string, shards, historyLimit int) (map[trace.Vendor]*cloud.Service, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "crawls_*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no crawls_*.csv dumps in %s (run cmd/tagsim first)", dir)
+	}
+	sort.Strings(paths)
+	var reports []trace.Report
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		records, err := trace.ReadCrawlCSV(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p, err)
+		}
+		for _, rec := range crawler.DistinctReports(records) {
+			reports = append(reports, trace.Report{
+				T: rec.ReportedAt, HeardAt: rec.ReportedAt,
+				TagID: rec.TagID, Vendor: rec.Vendor, Pos: rec.Pos,
+			})
+		}
+		log.Printf("loaded %s: %d crawl records", p, len(records))
+	}
+	trace.SortByTime(reports)
+	out := newServices(shards, historyLimit)
+	perVendor := map[trace.Vendor][]trace.Report{}
+	for _, r := range reports {
+		perVendor[r.Vendor] = append(perVendor[r.Vendor], r)
+	}
+	for v, rs := range perVendor {
+		svc, ok := out[v]
+		if !ok {
+			return nil, fmt.Errorf("dump contains reports for unserved vendor %s", v)
+		}
+		svc.Restore(rs)
+	}
+	return out, nil
+}
+
+func newServices(shards, historyLimit int) map[trace.Vendor]*cloud.Service {
+	out := map[trace.Vendor]*cloud.Service{}
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		svc := cloud.NewServiceSharded(v, shards)
+		svc.HistoryLimit = historyLimit
+		out[v] = svc
+	}
+	return out
+}

@@ -6,14 +6,21 @@
 // observed: a per-tag last location and "last seen" age. The per-tag
 // update-rate cap reproduces the 15-20 updates/hour plateau both vendors
 // converge to in Figures 3-4.
+//
+// Since the serving-subsystem refactor a Service is a thin vendor label
+// over internal/store's sharded concurrent report store: the
+// single-goroutine simulation drives it exactly as before (acceptance
+// depends only on per-tag state, so output is byte-identical), while
+// cmd/tagserve and the load harness may ingest and query the same
+// service from GOMAXPROCS goroutines.
 package cloud
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"tagsim/internal/geo"
+	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
 
@@ -22,120 +29,40 @@ import (
 // of the paper's Figure 4.
 const DefaultMinUpdateInterval = 192 * time.Second
 
-// Service is one vendor's location backend.
+// Service is one vendor's location backend. The embedded Store carries
+// the state and the policy knobs (MinUpdateInterval, KeepHistory,
+// HistoryLimit), which callers may adjust before the service is shared
+// across goroutines.
 type Service struct {
+	*store.Store
 	vendor trace.Vendor
-	// MinUpdateInterval is the per-tag accepted-report spacing.
-	MinUpdateInterval time.Duration
-	// KeepHistory retains every accepted report (the crawlers rebuild
-	// history themselves, but experiments read it for ground-truth joins).
-	KeepHistory bool
-
-	tags     map[string]*tagState
-	accepted uint64
-	rejected uint64
 }
 
-type tagState struct {
-	lastPos geo.LatLon
-	lastAt  time.Time
-	hasLast bool
-	history []trace.Report
-}
-
-// NewService creates a vendor service with the default rate cap and
-// history retention enabled.
+// NewService creates a vendor service with the default rate cap, history
+// retention enabled and unbounded (HistoryLimit 0), on the store's
+// default shard count.
 func NewService(vendor trace.Vendor) *Service {
-	return &Service{
-		vendor:            vendor,
-		MinUpdateInterval: DefaultMinUpdateInterval,
-		KeepHistory:       true,
-		tags:              make(map[string]*tagState),
-	}
+	return NewServiceSharded(vendor, store.DefaultShards)
+}
+
+// NewServiceSharded is NewService with an explicit store shard count
+// (rounded up to a power of two) — cmd/tagserve and the serving
+// benchmarks size the store to their client counts.
+func NewServiceSharded(vendor trace.Vendor, shards int) *Service {
+	st := store.New(shards)
+	st.MinUpdateInterval = DefaultMinUpdateInterval
+	st.KeepHistory = true
+	return &Service{Store: st, vendor: vendor}
 }
 
 // Vendor returns the ecosystem this service backs.
 func (s *Service) Vendor() trace.Vendor { return s.vendor }
 
-// Register creates state for a tag (idempotent). Tags must be registered
-// before they can be crawled; ingest auto-registers.
-func (s *Service) Register(tagID string) {
-	if _, ok := s.tags[tagID]; !ok {
-		s.tags[tagID] = &tagState{}
-	}
-}
-
-// TagIDs returns the registered tags in sorted order.
-func (s *Service) TagIDs() []string {
-	out := make([]string, 0, len(s.tags))
-	for id := range s.tags {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Ingest applies the per-tag rate cap and, if the report is accepted,
-// updates the tag's last location. It returns whether the report was
-// accepted. Reports observed earlier than the tag's current state are
-// rejected (out-of-order uploads never regress the last-seen time).
-//
-// Rate capping and display both use the report's observation time
-// (HeardAt): location reports carry the timestamp of the GPS fix, and the
-// companion apps display "last seen" relative to it, not relative to when
-// the upload happened to arrive. A zero HeardAt falls back to T.
-func (s *Service) Ingest(r trace.Report) bool {
-	st, ok := s.tags[r.TagID]
-	if !ok {
-		st = &tagState{}
-		s.tags[r.TagID] = st
-	}
-	seenAt := r.HeardAt
-	if seenAt.IsZero() {
-		seenAt = r.T
-	}
-	if st.hasLast {
-		if !seenAt.After(st.lastAt) || seenAt.Sub(st.lastAt) < s.MinUpdateInterval {
-			s.rejected++
-			return false
-		}
-	}
-	st.lastPos = r.Pos
-	st.lastAt = seenAt
-	st.hasLast = true
-	if s.KeepHistory {
-		st.history = append(st.history, r)
-	}
-	s.accepted++
-	return true
-}
-
-// LastSeen returns the tag's last reported location and when it was
-// observed. ok is false when the tag is unknown or has no reports yet.
-func (s *Service) LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool) {
-	st, found := s.tags[tagID]
-	if !found || !st.hasLast {
-		return geo.LatLon{}, time.Time{}, false
-	}
-	return st.lastPos, st.lastAt, true
-}
-
-// History returns the accepted reports for a tag in ingestion order.
-func (s *Service) History(tagID string) []trace.Report {
-	st, ok := s.tags[tagID]
-	if !ok {
-		return nil
-	}
-	return st.history
-}
-
-// Stats returns accepted/rejected report counters.
-func (s *Service) Stats() (accepted, rejected uint64) { return s.accepted, s.rejected }
-
 // String describes the service.
 func (s *Service) String() string {
+	accepted, rejected := s.Stats()
 	return fmt.Sprintf("%s location service (%d tags, %d accepted, %d rate-limited)",
-		s.vendor, len(s.tags), s.accepted, s.rejected)
+		s.vendor, s.NumTags(), accepted, rejected)
 }
 
 // View is the read interface the crawlers poll: what the companion app

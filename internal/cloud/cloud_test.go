@@ -177,6 +177,128 @@ func TestServiceString(t *testing.T) {
 	}
 }
 
+// TestHistoryRetentionCap: the serving-subsystem satellite — a bounded
+// history keeps only the newest HistoryLimit accepted reports, while the
+// default (0) retains everything for full ground-truth joins.
+func TestHistoryRetentionCap(t *testing.T) {
+	s := NewService(trace.VendorApple)
+	s.HistoryLimit = 4
+	var accepted []trace.Report
+	for i := 0; i < 12; i++ {
+		r := report(t0.Add(time.Duration(i)*4*time.Minute), "tag", geo.Destination(pos, float64(i*30), float64(i*50)))
+		if !s.Ingest(r) {
+			t.Fatalf("report %d rejected", i)
+		}
+		accepted = append(accepted, r)
+	}
+	h := s.History("tag")
+	if len(h) != 4 {
+		t.Fatalf("capped history holds %d reports, want 4", len(h))
+	}
+	for i, r := range h {
+		if r != accepted[8+i] {
+			t.Fatalf("capped history[%d] is not the %d-th newest accepted report", i, 4-i)
+		}
+	}
+	// The cap never touches the last-known surface the crawlers poll.
+	if _, at, ok := s.LastSeen("tag"); !ok || !at.Equal(accepted[11].HeardAt) {
+		t.Error("LastSeen diverged under a history cap")
+	}
+	// Default remains unbounded.
+	if d := NewService(trace.VendorApple); d.HistoryLimit != 0 {
+		t.Error("history must default to unbounded retention")
+	}
+}
+
+// refService is the pre-refactor cloud.Service ingestion logic, kept
+// verbatim as the behavioral reference for the store-backed Service.
+type refService struct {
+	minInterval time.Duration
+	last        map[string]trace.Report
+	hasLast     map[string]bool
+	history     map[string][]trace.Report
+	acc, rej    uint64
+}
+
+func newRefService() *refService {
+	return &refService{
+		minInterval: DefaultMinUpdateInterval,
+		last:        map[string]trace.Report{},
+		hasLast:     map[string]bool{},
+		history:     map[string][]trace.Report{},
+	}
+}
+
+func (s *refService) ingest(r trace.Report) bool {
+	seenAt := r.HeardAt
+	if seenAt.IsZero() {
+		seenAt = r.T
+	}
+	if s.hasLast[r.TagID] {
+		prev := s.last[r.TagID]
+		prevAt := prev.HeardAt
+		if prevAt.IsZero() {
+			prevAt = prev.T
+		}
+		if !seenAt.After(prevAt) || seenAt.Sub(prevAt) < s.minInterval {
+			s.rej++
+			return false
+		}
+	}
+	s.last[r.TagID] = r
+	s.hasLast[r.TagID] = true
+	s.history[r.TagID] = append(s.history[r.TagID], r)
+	s.acc++
+	return true
+}
+
+// TestStoreBackedServiceMatchesReference drives the refactored Service
+// and the historical map-based logic with an adversarial deterministic
+// stream (in-cap, boundary, out-of-order, multi-tag) and demands
+// identical accept decisions, last-seen state, histories, and counters —
+// the guarantee that every table/figure stays byte-identical.
+func TestStoreBackedServiceMatchesReference(t *testing.T) {
+	svc := NewService(trace.VendorApple)
+	ref := newRefService()
+	tags := []string{"airtag-1", "smarttag-1", "tag-x", "tag-y", "tag-z"}
+	// Deterministic pseudo-random jitter without an RNG dependency.
+	for i := 0; i < 3000; i++ {
+		tag := tags[(i*7)%len(tags)]
+		jitter := time.Duration((i*i*131)%700-220) * time.Second
+		at := t0.Add(time.Duration(i)*45*time.Second + jitter)
+		r := report(at, tag, geo.Destination(pos, float64(i%360), float64(i%500)))
+		if i%13 == 0 {
+			r.HeardAt = time.Time{} // exercise the T fallback
+		}
+		if got, want := svc.Ingest(r), ref.ingest(r); got != want {
+			t.Fatalf("report %d: accept=%v, reference says %v", i, got, want)
+		}
+	}
+	for _, tag := range tags {
+		gotPos, gotAt, ok := svc.LastSeen(tag)
+		wantLast := ref.last[tag]
+		wantAt := wantLast.HeardAt
+		if wantAt.IsZero() {
+			wantAt = wantLast.T
+		}
+		if !ok || gotPos != wantLast.Pos || !gotAt.Equal(wantAt) {
+			t.Errorf("%s: LastSeen diverged from reference", tag)
+		}
+		got, want := svc.History(tag), ref.history[tag]
+		if len(got) != len(want) {
+			t.Fatalf("%s: history length %d, reference %d", tag, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: history[%d] diverged", tag, i)
+			}
+		}
+	}
+	if acc, rej := svc.Stats(); acc != ref.acc || rej != ref.rej {
+		t.Errorf("stats = %d/%d, reference %d/%d", acc, rej, ref.acc, ref.rej)
+	}
+}
+
 func BenchmarkIngest(b *testing.B) {
 	s := NewService(trace.VendorApple)
 	b.ResetTimer()

@@ -1,0 +1,320 @@
+// Package load is the deterministic closed-loop load generator for the
+// serving subsystem: N workers issue back-to-back queries against a
+// Target — the store surface directly, or the HTTP query API — with a
+// Zipf-skewed tag popularity and a weighted operation mix modeled on
+// the paper's crawlers (last-known polls dominate, history/track
+// reconstructions ride along).
+//
+// Determinism follows the simulator's named-stream discipline: worker w
+// draws from an RNG seeded by hashing (seed, "load/worker/w"), so the
+// exact sequence of (operation, tag) pairs each worker issues is a pure
+// function of the config at any worker count. Only the measured
+// latencies and throughput vary run to run — they are wall-clock.
+package load
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"tagsim/internal/cloud"
+	"tagsim/internal/stats"
+	"tagsim/internal/trace"
+)
+
+// Op is one query type of the vendor API.
+type Op uint8
+
+const (
+	// OpLastKnown polls a tag's last-known location (the crawlers' loop).
+	OpLastKnown Op = iota
+	// OpHistory fetches a tag's accepted-report history.
+	OpHistory
+	// OpTrack reconstructs the cross-vendor track for a tag.
+	OpTrack
+	// OpStats reads the service counters.
+	OpStats
+	numOps
+)
+
+var opNames = [...]string{"lastknown", "history", "track", "stats"}
+
+// String returns the endpoint-style op name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Mix weighs the operation types in the generated stream. Zero values
+// fall back to DefaultMix.
+type Mix struct {
+	LastKnown, History, Track, Stats int
+}
+
+// DefaultMix mirrors the paper's crawler behavior: per-minute last-known
+// polls dominate, with occasional history/track reconstructions and a
+// trickle of stats reads.
+func DefaultMix() Mix { return Mix{LastKnown: 90, History: 5, Track: 4, Stats: 1} }
+
+func (m Mix) total() int { return m.LastKnown + m.History + m.Track + m.Stats }
+
+// pick maps a draw in [0, total) to an op.
+func (m Mix) pick(r int) Op {
+	switch {
+	case r < m.LastKnown:
+		return OpLastKnown
+	case r < m.LastKnown+m.History:
+		return OpHistory
+	case r < m.LastKnown+m.History+m.Track:
+		return OpTrack
+	default:
+		return OpStats
+	}
+}
+
+// Config parameterizes a load run.
+type Config struct {
+	// Workers is the closed-loop client count (default 8).
+	Workers int
+	// Requests is the total request budget, split evenly across workers
+	// (default 2000).
+	Requests int
+	// Seed roots the per-worker streams.
+	Seed int64
+	// Tags is the tag universe queried; popularity is Zipf over its
+	// order (Tags[0] hottest). Required.
+	Tags []string
+	// ZipfS is the Zipf exponent (must be > 1; default 1.2 — a hot-tag
+	// skew in line with self-organized tagging popularity distributions).
+	ZipfS float64
+	// Mix weighs the operations (zero value: DefaultMix).
+	Mix Mix
+}
+
+func (c *Config) defaults() error {
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.Requests <= 0 {
+		c.Requests = 2000
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.ZipfS <= 1 {
+		return fmt.Errorf("load: ZipfS must be > 1, got %v", c.ZipfS)
+	}
+	if c.Mix.total() == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Mix.LastKnown < 0 || c.Mix.History < 0 || c.Mix.Track < 0 || c.Mix.Stats < 0 || c.Mix.total() <= 0 {
+		return fmt.Errorf("load: mix weights must be non-negative with a positive sum, got %+v", c.Mix)
+	}
+	if len(c.Tags) == 0 {
+		return fmt.Errorf("load: no tags to query")
+	}
+	return nil
+}
+
+// Target executes one operation against a serving backend.
+type Target interface {
+	Do(op Op, tagID string) error
+}
+
+// Result is one load run's report.
+type Result struct {
+	Requests int
+	Workers  int
+	Errors   int
+	Elapsed  time.Duration
+	// PerOp counts issued requests by operation — deterministic for a
+	// given config.
+	PerOp [numOps]int
+	// Latency summarizes per-request wall-clock latency in milliseconds.
+	Latency stats.QuantileSummary
+}
+
+// Throughput returns requests per wall-clock second.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Requests) / r.Elapsed.Seconds()
+}
+
+// Render formats the report like the repo's figure renderings.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Load report: %d requests, %d workers, %d errors, %.0f req/s over %v\n",
+		r.Requests, r.Workers, r.Errors, r.Throughput(), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  latency ms  p50=%.3f  p95=%.3f  p99=%.3f\n",
+		r.Latency.P50, r.Latency.P95, r.Latency.P99)
+	fmt.Fprintf(&b, "  ops        ")
+	for op := Op(0); op < numOps; op++ {
+		fmt.Fprintf(&b, " %s=%d", op, r.PerOp[op])
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// workerRNG derives worker w's stream the way sim.Engine.RNG derives
+// entity streams: FNV-1a over (seed, name).
+func workerRNG(seed int64, w int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/load/worker/%d", seed, w)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Run drives the target with cfg.Requests closed-loop requests across
+// cfg.Workers workers and reports throughput plus latency quantiles.
+// The (op, tag) sequence is deterministic per config; an error from the
+// target counts and the worker moves on.
+func Run(cfg Config, target Target) (*Result, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	type workerOut struct {
+		latencies []float64
+		perOp     [numOps]int
+		errors    int
+	}
+	outs := make([]workerOut, cfg.Workers)
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		n := cfg.Requests / cfg.Workers
+		if w < cfg.Requests%cfg.Workers {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			rng := workerRNG(cfg.Seed, w)
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Tags)-1))
+			out := &outs[w]
+			out.latencies = make([]float64, 0, n)
+			for i := 0; i < n; i++ {
+				op := cfg.Mix.pick(rng.Intn(cfg.Mix.total()))
+				tag := cfg.Tags[zipf.Uint64()]
+				t := time.Now()
+				err := target.Do(op, tag)
+				out.latencies = append(out.latencies, float64(time.Since(t))/float64(time.Millisecond))
+				out.perOp[op]++
+				if err != nil {
+					out.errors++
+				}
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	res := &Result{Requests: cfg.Requests, Workers: cfg.Workers, Elapsed: time.Since(begin)}
+	var all []float64
+	for _, out := range outs {
+		all = append(all, out.latencies...)
+		res.Errors += out.errors
+		for op, n := range out.perOp {
+			res.PerOp[op] += n
+		}
+	}
+	res.Latency = stats.Quantiles(all)
+	return res, nil
+}
+
+// ServiceTarget drives the store surface directly (no HTTP): the
+// shared-memory baseline the HTTP layer is compared against.
+type ServiceTarget struct {
+	services map[trace.Vendor]*cloud.Service
+	combined cloud.Combined
+}
+
+// NewServiceTarget builds a direct target over per-vendor services.
+func NewServiceTarget(services map[trace.Vendor]*cloud.Service) *ServiceTarget {
+	t := &ServiceTarget{services: services}
+	for _, svc := range services {
+		t.combined = append(t.combined, svc)
+	}
+	return t
+}
+
+// Do implements Target against the in-process stores.
+func (t *ServiceTarget) Do(op Op, tagID string) error {
+	switch op {
+	case OpLastKnown:
+		t.combined.LastSeen(tagID)
+	case OpHistory:
+		for _, svc := range t.services {
+			svc.History(tagID)
+		}
+	case OpTrack:
+		t.combined.MergedHistory(tagID)
+	case OpStats:
+		for _, svc := range t.services {
+			svc.Stats()
+		}
+	default:
+		return fmt.Errorf("load: unknown op %v", op)
+	}
+	return nil
+}
+
+// HTTPTarget drives the serve package's query API over real HTTP.
+type HTTPTarget struct {
+	// Base is the server root, e.g. an httptest.Server URL.
+	Base string
+	// Client defaults to a connection-pooling client sized for the
+	// worker count.
+	Client *http.Client
+}
+
+// NewHTTPTarget builds an HTTP target for the query API at base.
+func NewHTTPTarget(base string) *HTTPTarget {
+	// Clone the default transport when it is the stock one (keeping its
+	// proxy/dialer defaults); an embedding program may have replaced it
+	// with an arbitrary RoundTripper, in which case start fresh.
+	tr, ok := http.DefaultTransport.(*http.Transport)
+	if ok {
+		tr = tr.Clone()
+	} else {
+		tr = &http.Transport{}
+	}
+	tr.MaxIdleConnsPerHost = 64
+	return &HTTPTarget{Base: strings.TrimRight(base, "/"), Client: &http.Client{Transport: tr}}
+}
+
+// Do implements Target over the HTTP query API. Queries use the
+// Combined view, like the paper's unified-ecosystem analysis.
+func (t *HTTPTarget) Do(op Op, tagID string) error {
+	var path string
+	switch op {
+	case OpLastKnown:
+		path = "/v1/lastknown?tag=" + url.QueryEscape(tagID)
+	case OpHistory:
+		path = "/v1/history?tag=" + url.QueryEscape(tagID)
+	case OpTrack:
+		path = "/v1/track?tag=" + url.QueryEscape(tagID)
+	case OpStats:
+		path = "/v1/stats"
+	default:
+		return fmt.Errorf("load: unknown op %v", op)
+	}
+	resp, err := t.Client.Get(t.Base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("load: %s: status %d", path, resp.StatusCode)
+	}
+	return nil
+}

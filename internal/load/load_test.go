@@ -1,0 +1,194 @@
+package load
+
+import (
+	"errors"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"tagsim/internal/cloud"
+	"tagsim/internal/geo"
+	"tagsim/internal/serve"
+	"tagsim/internal/trace"
+)
+
+var (
+	t0  = time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	pos = geo.LatLon{Lat: 24.45, Lon: 54.37}
+)
+
+// recordingTarget captures the issued (op, tag) stream per worker-free
+// global order plus per-pair counts.
+type recordingTarget struct {
+	mu    sync.Mutex
+	count map[string]int
+	fail  bool
+}
+
+func newRecordingTarget(fail bool) *recordingTarget {
+	return &recordingTarget{count: map[string]int{}, fail: fail}
+}
+
+func (t *recordingTarget) Do(op Op, tagID string) error {
+	t.mu.Lock()
+	t.count[op.String()+"/"+tagID]++
+	t.mu.Unlock()
+	if t.fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func tags(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a'+i%26)) + "-tag"
+	}
+	for i := range out {
+		out[i] = out[i] + string(rune('0'+i/26))
+	}
+	return out
+}
+
+// TestDeterministicSequence: two runs with the same config must issue
+// the identical multiset of (op, tag) pairs at any worker count —
+// the load harness analog of the simulator's worker-invariance.
+func TestDeterministicSequence(t *testing.T) {
+	cfg := Config{Workers: 8, Requests: 1200, Seed: 42, Tags: tags(20)}
+	a := newRecordingTarget(false)
+	if _, err := Run(cfg, a); err != nil {
+		t.Fatal(err)
+	}
+	b := newRecordingTarget(false)
+	if _, err := Run(cfg, b); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.count, b.count) {
+		t.Error("same config produced different request streams")
+	}
+	// A different seed must produce a different stream.
+	c := newRecordingTarget(false)
+	cfg.Seed = 43
+	if _, err := Run(cfg, c); err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.count, c.count) {
+		t.Error("different seeds produced identical request streams")
+	}
+}
+
+func TestZipfSkewAndMix(t *testing.T) {
+	cfg := Config{Workers: 4, Requests: 4000, Seed: 7, Tags: tags(50)}
+	rec := newRecordingTarget(false)
+	res, err := Run(cfg, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 4000 || res.Errors != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The default mix is dominated by last-known polls.
+	if res.PerOp[OpLastKnown] < res.PerOp[OpHistory]+res.PerOp[OpTrack]+res.PerOp[OpStats] {
+		t.Errorf("mix not lastknown-dominated: %v", res.PerOp)
+	}
+	total := 0
+	for _, n := range res.PerOp {
+		total += n
+	}
+	if total != 4000 {
+		t.Errorf("per-op counts sum to %d", total)
+	}
+	// Zipf popularity: the hottest tag draws more lastknown polls than
+	// a deep-tail tag.
+	hot := rec.count["lastknown/"+cfg.Tags[0]]
+	cold := rec.count["lastknown/"+cfg.Tags[49]]
+	if hot <= cold*2 {
+		t.Errorf("no Zipf skew: hot=%d cold=%d", hot, cold)
+	}
+	if res.Latency.N != 4000 {
+		t.Errorf("latency sample count = %d", res.Latency.N)
+	}
+	if res.Throughput() <= 0 {
+		t.Error("throughput must be positive")
+	}
+	if res.Render() == "" {
+		t.Error("Render must describe the run")
+	}
+}
+
+func TestErrorsCounted(t *testing.T) {
+	cfg := Config{Workers: 2, Requests: 10, Seed: 1, Tags: tags(3)}
+	res, err := Run(cfg, newRecordingTarget(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 10 {
+		t.Errorf("errors = %d, want 10", res.Errors)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}, newRecordingTarget(false)); err == nil {
+		t.Error("empty tag universe must error")
+	}
+	if _, err := Run(Config{Tags: tags(2), ZipfS: 0.5}, newRecordingTarget(false)); err == nil {
+		t.Error("ZipfS <= 1 must error")
+	}
+	if _, err := Run(Config{Tags: tags(2), Mix: Mix{LastKnown: 10, History: -20}}, newRecordingTarget(false)); err == nil {
+		t.Error("negative mix weights must error, not panic in Intn")
+	}
+}
+
+func fixtureServices() map[trace.Vendor]*cloud.Service {
+	apple := cloud.NewService(trace.VendorApple)
+	samsung := cloud.NewService(trace.VendorSamsung)
+	for i, tag := range []string{"airtag-1", "smarttag-1", "tag-x"} {
+		svc := apple
+		if i%2 == 1 {
+			svc = samsung
+		}
+		for k := 0; k < 5; k++ {
+			at := t0.Add(time.Duration(k) * 4 * time.Minute)
+			svc.Ingest(trace.Report{T: at, HeardAt: at, TagID: tag, Vendor: svc.Vendor(),
+				Pos: geo.Destination(pos, float64(k*20), float64(k*30))})
+		}
+	}
+	return map[trace.Vendor]*cloud.Service{trace.VendorApple: apple, trace.VendorSamsung: samsung}
+}
+
+// TestServiceTarget drives the stores directly.
+func TestServiceTarget(t *testing.T) {
+	target := NewServiceTarget(fixtureServices())
+	for op := Op(0); op < numOps; op++ {
+		if err := target.Do(op, "airtag-1"); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
+	}
+	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "tag-x"}}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("direct target errors = %d", res.Errors)
+	}
+}
+
+// TestHTTPTargetEndToEnd runs the closed loop against a real HTTP server
+// wired to the query API — the full serving stack in-process.
+func TestHTTPTargetEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(serve.NewServer(fixtureServices()))
+	defer ts.Close()
+	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "ghost"}},
+		NewHTTPTarget(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 { // unknown tags are valid "no location found" answers
+		t.Errorf("HTTP target errors = %d", res.Errors)
+	}
+	if res.Latency.P50 <= 0 {
+		t.Error("latencies must be measured")
+	}
+}

@@ -90,6 +90,12 @@ type CountryResult struct {
 	Population *population.Map
 	// Homes are the participant's detected overnight locations.
 	Homes []geo.LatLon
+	// Clouds are the country's vendor services with their full accepted
+	// state — what cmd/tagserve restores into its serving stores. The
+	// retention is cheap relative to Dataset: ingestion is rate-capped
+	// at ~19 accepted reports/hour/tag, versus thousands of daily
+	// ground-truth fixes and crawl records.
+	Clouds map[trace.Vendor]*cloud.Service
 }
 
 // WildResult is the whole campaign.
@@ -218,6 +224,7 @@ type countryWorld struct {
 	vp             *vantage.VantagePoint
 	appleCrawler   *crawler.Crawler
 	samsungCrawler *crawler.Crawler
+	clouds         map[trace.Vendor]*cloud.Service
 }
 
 // build constructs the country's world on a fresh engine.
@@ -371,10 +378,11 @@ func (j CountryJob) build() *countryWorld {
 	samsung := cloud.NewService(trace.VendorSamsung)
 	apple.Register(airTag.ID)
 	samsung.Register(smartTag.ID)
-	plane := encounter.New(encounter.Config{}, e, fleet, []*tag.Tag{airTag, smartTag}, map[trace.Vendor]*cloud.Service{
+	clouds := map[trace.Vendor]*cloud.Service{
 		trace.VendorApple:   apple,
 		trace.VendorSamsung: samsung,
-	})
+	}
+	plane := encounter.New(encounter.Config{}, e, fleet, []*tag.Tag{airTag, smartTag}, clouds)
 	plane.Attach(start)
 
 	// Vantage point and crawlers.
@@ -394,6 +402,7 @@ func (j CountryJob) build() *countryWorld {
 		vp:             vp,
 		appleCrawler:   appleCrawler,
 		samsungCrawler: samsungCrawler,
+		clouds:         clouds,
 	}
 }
 
@@ -423,6 +432,7 @@ func (w *countryWorld) run() CountryResult {
 		KmByClass:  kmByClass,
 		Population: w.pop,
 		Homes:      analysis.DetectHomes(gt, 300),
+		Clouds:     w.clouds,
 	}
 }
 

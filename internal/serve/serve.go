@@ -1,0 +1,306 @@
+// Package serve exposes the vendor query surface the paper's crawlers
+// reverse-engineered as an HTTP API over the sharded report stores:
+// the per-tag last-known location ("last seen X minutes ago", the view
+// FindMy/SmartThings render), the accepted-report history, a cross-
+// vendor track reconstruction (the emulated unified ecosystem), and
+// ingestion counters. A POST ingest endpoint closes the loop so the
+// load harness can drive the write path through HTTP too.
+//
+// The handler is a plain http.Handler built by NewServer, so it runs
+// equally under net/http/httptest (in-process load tests, cmd/tagserve's
+// self-drive mode) and a real listener.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"tagsim/internal/cloud"
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// Server routes the vendor query API over a set of per-vendor services.
+type Server struct {
+	mux      *http.ServeMux
+	services map[trace.Vendor]*cloud.Service
+	combined cloud.Combined
+	vendors  []trace.Vendor // sorted, for stable /v1/stats output
+}
+
+// NewServer builds the query service over per-vendor backends. The
+// services may keep ingesting (e.g. from a live load generator or a
+// running simulation flushing through Restore) while the server reads —
+// the store's shard locks make every endpoint safe.
+func NewServer(services map[trace.Vendor]*cloud.Service) *Server {
+	s := &Server{mux: http.NewServeMux(), services: services}
+	for v, svc := range services {
+		s.vendors = append(s.vendors, v)
+		s.combined = append(s.combined, svc)
+	}
+	sort.Slice(s.vendors, func(i, j int) bool { return s.vendors[i] < s.vendors[j] })
+	sort.Slice(s.combined, func(i, j int) bool { return s.combined[i].Vendor() < s.combined[j].Vendor() })
+	s.mux.HandleFunc("GET /v1/lastknown", s.handleLastKnown)
+	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
+	s.mux.HandleFunc("GET /v1/track", s.handleTrack)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/report", s.handleReport)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// LastKnownResponse is what the companion app shows for one tag: the
+// last reported position and the quantized "last seen X minutes ago"
+// label the crawlers OCR.
+type LastKnownResponse struct {
+	TagID  string     `json:"tag_id"`
+	Vendor string     `json:"vendor"`
+	Found  bool       `json:"found"`
+	Pos    geo.LatLon `json:"pos,omitzero"`
+	SeenAt time.Time  `json:"seen_at,omitzero"`
+	// AgeMinutes is floored to whole minutes relative to the query's
+	// ?now= (or the server clock), exactly like the app label; 0 means
+	// the "Now" state Table 1 counts.
+	AgeMinutes int `json:"age_minutes"`
+}
+
+// HistoryResponse lists a tag's retained accepted reports oldest-first.
+type HistoryResponse struct {
+	TagID   string         `json:"tag_id"`
+	Vendor  string         `json:"vendor"`
+	Reports []trace.Report `json:"reports"`
+}
+
+// TrackPoint is one fix of a cross-vendor track.
+type TrackPoint struct {
+	T      time.Time  `json:"t"`
+	Pos    geo.LatLon `json:"pos"`
+	Vendor string     `json:"vendor"`
+}
+
+// TrackResponse is the stalker's-eye view the paper builds by merging
+// both ecosystems: the freshest last-known fix plus the merged,
+// time-sorted report track.
+type TrackResponse struct {
+	TagID string            `json:"tag_id"`
+	Last  LastKnownResponse `json:"last"`
+	Track []TrackPoint      `json:"track"`
+}
+
+// VendorStats is one vendor's ingestion counters.
+type VendorStats struct {
+	Vendor   string `json:"vendor"`
+	Tags     int    `json:"tags"`
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// StatsResponse aggregates every vendor's counters.
+type StatsResponse struct {
+	Vendors []VendorStats `json:"vendors"`
+}
+
+// IngestResponse answers POST /v1/report.
+type IngestResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// errorResponse is the JSON error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// tagParam extracts the mandatory ?tag= parameter.
+func tagParam(w http.ResponseWriter, r *http.Request) (string, bool) {
+	tag := r.URL.Query().Get("tag")
+	if tag == "" {
+		writeErr(w, http.StatusBadRequest, "missing tag parameter")
+		return "", false
+	}
+	return tag, true
+}
+
+// serviceFor resolves the ?vendor= parameter: a nil service with ok
+// means the combined (freshest-wins) ecosystem, requested as "Combined"
+// or by omitting the parameter. Bad and unbacked vendors are answered
+// here.
+func (s *Server) serviceFor(w http.ResponseWriter, r *http.Request) (svc *cloud.Service, label string, ok bool) {
+	name := r.URL.Query().Get("vendor")
+	if name == "" || name == trace.VendorCombined.String() {
+		return nil, trace.VendorCombined.String(), true
+	}
+	v, err := trace.ParseVendor(name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "unknown vendor %q", name)
+		return nil, "", false
+	}
+	svc, found := s.services[v]
+	if !found {
+		writeErr(w, http.StatusNotFound, "no %s service", v)
+		return nil, "", false
+	}
+	return svc, v.String(), true
+}
+
+// viewFor is serviceFor collapsed to the last-seen View interface.
+func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) (cloud.View, string, bool) {
+	svc, label, ok := s.serviceFor(w, r)
+	if !ok {
+		return nil, "", false
+	}
+	if svc == nil {
+		return s.combined, label, true
+	}
+	return svc, label, true
+}
+
+// nowParam returns the reference instant for age labels: ?now=RFC3339
+// when given (deterministic queries against simulated pasts), else the
+// server clock.
+func nowParam(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
+	if raw := r.URL.Query().Get("now"); raw != "" {
+		t, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "bad now parameter: %v", err)
+			return time.Time{}, false
+		}
+		return t, true
+	}
+	return time.Now(), true
+}
+
+func lastKnown(view cloud.View, vendorName, tagID string, now time.Time) LastKnownResponse {
+	resp := LastKnownResponse{TagID: tagID, Vendor: vendorName}
+	pos, at, ok := view.LastSeen(tagID)
+	if !ok {
+		return resp // the app's "no location found"
+	}
+	age := int(now.Sub(at) / time.Minute) // the app floors to whole minutes
+	if age < 0 {
+		age = 0
+	}
+	resp.Found, resp.Pos, resp.SeenAt, resp.AgeMinutes = true, pos, at, age
+	return resp
+}
+
+func (s *Server) handleLastKnown(w http.ResponseWriter, r *http.Request) {
+	tag, ok := tagParam(w, r)
+	if !ok {
+		return
+	}
+	view, vendorName, ok := s.viewFor(w, r)
+	if !ok {
+		return
+	}
+	now, ok := nowParam(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, lastKnown(view, vendorName, tag, now))
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	tag, ok := tagParam(w, r)
+	if !ok {
+		return
+	}
+	svc, label, ok := s.serviceFor(w, r)
+	if !ok {
+		return
+	}
+	var reports []trace.Report
+	if svc == nil {
+		reports = s.combined.MergedHistory(tag)
+	} else {
+		reports = svc.History(tag)
+	}
+	if limit := r.URL.Query().Get("limit"); limit != "" {
+		n, err := strconv.Atoi(limit)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit parameter %q", limit)
+			return
+		}
+		if n < len(reports) { // keep the newest n
+			reports = reports[len(reports)-n:]
+		}
+	}
+	writeJSON(w, http.StatusOK, HistoryResponse{TagID: tag, Vendor: label, Reports: reports})
+}
+
+func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
+	tag, ok := tagParam(w, r)
+	if !ok {
+		return
+	}
+	now, ok := nowParam(w, r)
+	if !ok {
+		return
+	}
+	merged := s.combined.MergedHistory(tag)
+	track := make([]TrackPoint, 0, len(merged))
+	for _, rep := range merged {
+		track = append(track, TrackPoint{T: rep.T, Pos: rep.Pos, Vendor: rep.Vendor.String()})
+	}
+	writeJSON(w, http.StatusOK, TrackResponse{
+		TagID: tag,
+		Last:  lastKnown(s.combined, trace.VendorCombined.String(), tag, now),
+		Track: track,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{Vendors: make([]VendorStats, 0, len(s.vendors))}
+	for _, v := range s.vendors {
+		svc := s.services[v]
+		acc, rej := svc.Stats()
+		resp.Vendors = append(resp.Vendors, VendorStats{
+			Vendor: v.String(), Tags: svc.NumTags(), Accepted: acc, Rejected: rej,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	// The vendor field is decoded through a pointer so an absent key is
+	// a 400, not a silent fall-through to the zero vendor (Apple).
+	var raw struct {
+		trace.Report
+		Vendor *trace.Vendor `json:"vendor"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&raw); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad report body: %v", err)
+		return
+	}
+	if raw.TagID == "" {
+		writeErr(w, http.StatusBadRequest, "report missing tag_id")
+		return
+	}
+	if raw.Vendor == nil {
+		writeErr(w, http.StatusBadRequest, "report missing vendor")
+		return
+	}
+	rep := raw.Report
+	rep.Vendor = *raw.Vendor
+	svc, ok := s.services[rep.Vendor]
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no %s service", rep.Vendor)
+		return
+	}
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: svc.Ingest(rep)})
+}

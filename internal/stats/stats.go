@@ -117,6 +117,30 @@ func percentileSorted(sorted []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
+// QuantileSummary bundles the latency quantiles the serving benchmarks
+// and the load harness report.
+type QuantileSummary struct {
+	N             int
+	P50, P95, P99 float64
+}
+
+// Quantiles computes the p50/p95/p99 summary of the samples with the
+// same linear interpolation as Percentile; all three are NaN for an
+// empty slice.
+func Quantiles(xs []float64) QuantileSummary {
+	if len(xs) == 0 {
+		return QuantileSummary{P50: nan, P95: nan, P99: nan}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return QuantileSummary{
+		N:   len(xs),
+		P50: percentileSorted(sorted, 50),
+		P95: percentileSorted(sorted, 95),
+		P99: percentileSorted(sorted, 99),
+	}
+}
+
 // ECDF is an empirical cumulative distribution function.
 type ECDF struct {
 	sorted []float64

@@ -55,6 +55,50 @@ func TestMeanShiftInvariance(t *testing.T) {
 	}
 }
 
+func TestQuantilesKnownDistributions(t *testing.T) {
+	// 0..999 uniform grid: rank p/100*(n-1) with linear interpolation.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	// Shuffle deterministically: Quantiles must sort internally.
+	rng := rand.New(rand.NewSource(7))
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	q := Quantiles(xs)
+	if q.N != 1000 {
+		t.Errorf("N = %d", q.N)
+	}
+	if !almostEqual(q.P50, 499.5, 1e-9) || !almostEqual(q.P95, 949.05, 1e-9) || !almostEqual(q.P99, 989.01, 1e-9) {
+		t.Errorf("uniform quantiles = %+v", q)
+	}
+	// Quantiles must agree with Percentile on any sample set.
+	exp := make([]float64, 500)
+	for i := range exp {
+		exp[i] = rng.ExpFloat64()
+	}
+	qe := Quantiles(exp)
+	for _, c := range []struct{ got, p float64 }{{qe.P50, 50}, {qe.P95, 95}, {qe.P99, 99}} {
+		if want := Percentile(exp, c.p); !almostEqual(c.got, want, 1e-12) {
+			t.Errorf("p%v = %v, Percentile says %v", c.p, c.got, want)
+		}
+	}
+	// Degenerate inputs.
+	if c := Quantiles([]float64{42}); c.P50 != 42 || c.P95 != 42 || c.P99 != 42 {
+		t.Errorf("single-sample quantiles = %+v", c)
+	}
+	if e := Quantiles(nil); !math.IsNaN(e.P50) || !math.IsNaN(e.P95) || !math.IsNaN(e.P99) || e.N != 0 {
+		t.Errorf("empty quantiles = %+v", e)
+	}
+	// Input must not be reordered by the call.
+	before := append([]float64(nil), exp...)
+	Quantiles(exp)
+	for i := range exp {
+		if exp[i] != before[i] {
+			t.Fatal("Quantiles mutated its input")
+		}
+	}
+}
+
 func TestPercentile(t *testing.T) {
 	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	cases := []struct{ p, want float64 }{

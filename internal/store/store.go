@@ -1,0 +1,310 @@
+// Package store is the serving-side report store behind the vendor
+// clouds: a sharded, lock-per-shard map of per-tag state that stays
+// correct under GOMAXPROCS concurrent writers while preserving, shard
+// count for shard count, the exact accept/reject semantics the
+// single-goroutine simulation depends on.
+//
+// Layout: tags are hashed (FNV-1a) onto a power-of-two number of
+// shards; each shard guards its slice of the tag space with its own
+// mutex, so writers to different tags contend only when they collide
+// on a shard. Per-tag state carries the rate-cap clock (the paper's
+// Figure 4 plateau is enforced here), the last-known location, and a
+// bounded history ring. The accept/reject counters are atomics bumped
+// while the shard lock is held, which makes Snapshot — which takes
+// every shard lock in index order — a fully consistent point-in-time
+// read: counters and histories always agree inside one snapshot.
+//
+// Determinism: acceptance of a report depends only on that tag's prior
+// state, never on shard count or on other tags, so any single-writer
+// ingest order produces byte-identical state at every shard count.
+package store
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// DefaultShards is the shard count New uses when given n <= 0: enough
+// to spread an 8-16 client load without bloating the tiny per-world
+// stores the simulation creates.
+const DefaultShards = 8
+
+// Store is a sharded concurrent report store for one vendor cloud.
+//
+// The three policy fields mirror the historical cloud.Service knobs and
+// must be set before the store is shared across goroutines; after that
+// they are read-only.
+type Store struct {
+	// MinUpdateInterval is the per-tag accepted-report spacing (the
+	// ingestion rate cap). Zero still rejects non-advancing timestamps.
+	MinUpdateInterval time.Duration
+	// KeepHistory retains accepted reports per tag (the crawlers rebuild
+	// history themselves, but experiments read it for ground-truth joins).
+	KeepHistory bool
+	// HistoryLimit bounds the retained history per tag to the most
+	// recent N accepted reports. 0 keeps everything — the historical
+	// behavior, which experiments that join full histories rely on.
+	HistoryLimit int
+
+	shards   []shard
+	mask     uint64
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// shard is one lock domain of the tag space. The trailing padding sizes
+// the struct to a 64-byte cache line, keeping neighboring shards'
+// mutexes from false-sharing under write contention.
+type shard struct {
+	mu   sync.Mutex
+	tags map[string]*tagState
+	_    [48]byte
+}
+
+// tagState is the per-tag serving state: rate-cap clock, last-known
+// location, and the history ring (plain append slice while unbounded;
+// circular once HistoryLimit is reached).
+type tagState struct {
+	lastPos geo.LatLon
+	lastAt  time.Time
+	hasLast bool
+	hist    []trace.Report
+	histAt  int // ring write index once len(hist) == HistoryLimit
+}
+
+func (st *tagState) appendHistory(r trace.Report, limit int) {
+	if limit <= 0 || len(st.hist) < limit {
+		st.hist = append(st.hist, r)
+		return
+	}
+	st.hist[st.histAt] = r
+	st.histAt = (st.histAt + 1) % limit
+}
+
+// historyCopy returns the retained reports oldest-first.
+func (st *tagState) historyCopy() []trace.Report {
+	if len(st.hist) == 0 {
+		return nil
+	}
+	out := make([]trace.Report, 0, len(st.hist))
+	out = append(out, st.hist[st.histAt:]...)
+	out = append(out, st.hist[:st.histAt]...)
+	return out
+}
+
+// New creates a store with the given shard count, rounded up to a power
+// of two; n <= 0 means DefaultShards. Policy fields start at their zero
+// values (no rate cap beyond monotonicity, no history).
+func New(nShards int) *Store {
+	if nShards <= 0 {
+		nShards = DefaultShards
+	}
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	s := &Store{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].tags = make(map[string]*tagState)
+	}
+	return s
+}
+
+// NumShards returns the (power-of-two) shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardFor hashes a tag ID (FNV-1a) onto its shard.
+func (s *Store) shardFor(tagID string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tagID); i++ {
+		h ^= uint64(tagID[i])
+		h *= 1099511628211
+	}
+	return &s.shards[h&s.mask]
+}
+
+// Register creates state for a tag (idempotent). Tags must be
+// registered before they can be crawled; Ingest auto-registers.
+func (s *Store) Register(tagID string) {
+	sh := s.shardFor(tagID)
+	sh.mu.Lock()
+	if _, ok := sh.tags[tagID]; !ok {
+		sh.tags[tagID] = &tagState{}
+	}
+	sh.mu.Unlock()
+}
+
+// seenAt is the timestamp rate capping and display use: the report's
+// observation time (HeardAt), falling back to the acceptance time T.
+func seenAt(r trace.Report) time.Time {
+	if r.HeardAt.IsZero() {
+		return r.T
+	}
+	return r.HeardAt
+}
+
+// Ingest applies the per-tag rate cap and, if the report is accepted,
+// updates the tag's last location and history. It returns whether the
+// report was accepted. Reports observed earlier than the tag's current
+// state are rejected (out-of-order uploads never regress the last-seen
+// time). Safe for concurrent use; writers to the same tag serialize on
+// the tag's shard.
+func (s *Store) Ingest(r trace.Report) bool {
+	at := seenAt(r)
+	sh := s.shardFor(r.TagID)
+	sh.mu.Lock()
+	st, ok := sh.tags[r.TagID]
+	if !ok {
+		st = &tagState{}
+		sh.tags[r.TagID] = st
+	}
+	if st.hasLast && (!at.After(st.lastAt) || at.Sub(st.lastAt) < s.MinUpdateInterval) {
+		s.rejected.Add(1)
+		sh.mu.Unlock()
+		return false
+	}
+	st.lastPos = r.Pos
+	st.lastAt = at
+	st.hasLast = true
+	if s.KeepHistory {
+		st.appendHistory(r, s.HistoryLimit)
+	}
+	s.accepted.Add(1)
+	sh.mu.Unlock()
+	return true
+}
+
+// Restore loads already-accepted reports — a cloud history or a trace
+// dump — without re-applying the rate cap, counting each as accepted.
+// The last-known location only ever advances, so restoring several
+// time-disjoint dumps in any order leaves the freshest fix on top.
+// Per-tag history lands in the order given; feed time-sorted input
+// when order matters.
+func (s *Store) Restore(reports []trace.Report) {
+	for _, r := range reports {
+		at := seenAt(r)
+		sh := s.shardFor(r.TagID)
+		sh.mu.Lock()
+		st, ok := sh.tags[r.TagID]
+		if !ok {
+			st = &tagState{}
+			sh.tags[r.TagID] = st
+		}
+		if !st.hasLast || at.After(st.lastAt) {
+			st.lastPos = r.Pos
+			st.lastAt = at
+			st.hasLast = true
+		}
+		if s.KeepHistory {
+			st.appendHistory(r, s.HistoryLimit)
+		}
+		s.accepted.Add(1)
+		sh.mu.Unlock()
+	}
+}
+
+// LastSeen returns the tag's last reported location and when it was
+// observed. ok is false when the tag is unknown or has no reports yet.
+func (s *Store) LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool) {
+	sh := s.shardFor(tagID)
+	sh.mu.Lock()
+	st, found := sh.tags[tagID]
+	if found && st.hasLast {
+		pos, at, ok = st.lastPos, st.lastAt, true
+	}
+	sh.mu.Unlock()
+	return pos, at, ok
+}
+
+// History returns a copy of the retained accepted reports for a tag,
+// oldest first (nil for an unknown or history-less tag).
+func (s *Store) History(tagID string) []trace.Report {
+	sh := s.shardFor(tagID)
+	sh.mu.Lock()
+	var out []trace.Report
+	if st, ok := sh.tags[tagID]; ok {
+		out = st.historyCopy()
+	}
+	sh.mu.Unlock()
+	return out
+}
+
+// TagIDs returns the registered tags in sorted order.
+func (s *Store) TagIDs() []string {
+	out := make([]string, 0, s.NumTags())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id := range sh.tags {
+			out = append(out, id)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumTags returns the number of registered tags.
+func (s *Store) NumTags() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.tags)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns the accept/reject counters. The two loads are
+// individually atomic but not mutually consistent under concurrent
+// ingest; use Snapshot for a consistent pair.
+func (s *Store) Stats() (accepted, rejected uint64) {
+	return s.accepted.Load(), s.rejected.Load()
+}
+
+// TagSnapshot is one tag's state inside a Snapshot.
+type TagSnapshot struct {
+	ID      string
+	Pos     geo.LatLon
+	At      time.Time
+	HasLast bool
+	History []trace.Report
+}
+
+// Snapshot is a consistent point-in-time view of the whole store:
+// counters and per-tag state captured under all shard locks, tags in
+// sorted order — deterministic for deterministic ingest sequences.
+type Snapshot struct {
+	Accepted, Rejected uint64
+	Tags               []TagSnapshot
+}
+
+// Snapshot captures the store. It locks every shard (in index order, so
+// concurrent snapshots cannot deadlock), meaning no ingest is mid-flight
+// while the copy is taken: inside one snapshot, Accepted always equals
+// the reports reflected in the tag states.
+func (s *Store) Snapshot() Snapshot {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+	}
+	snap := Snapshot{Accepted: s.accepted.Load(), Rejected: s.rejected.Load()}
+	for i := range s.shards {
+		for id, st := range s.shards[i].tags {
+			snap.Tags = append(snap.Tags, TagSnapshot{
+				ID: id, Pos: st.lastPos, At: st.lastAt, HasLast: st.hasLast,
+				History: st.historyCopy(),
+			})
+		}
+	}
+	for i := range s.shards {
+		s.shards[i].mu.Unlock()
+	}
+	sort.Slice(snap.Tags, func(i, j int) bool { return snap.Tags[i].ID < snap.Tags[j].ID })
+	return snap
+}

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+var (
+	t0  = time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	pos = geo.LatLon{Lat: 24.45, Lon: 54.37}
+)
+
+func report(at time.Time, tagID string, p geo.LatLon) trace.Report {
+	return trace.Report{T: at, HeardAt: at, TagID: tagID, Pos: p, ReporterID: "dev-1"}
+}
+
+// newCloudlike mirrors the cloud.Service policy: 192 s cap, history on.
+func newCloudlike(shards int) *Store {
+	s := New(shards)
+	s.MinUpdateInterval = 192 * time.Second
+	s.KeepHistory = true
+	return s
+}
+
+// stream is a deterministic multi-tag ingest sequence with in-cap,
+// out-of-cap, and out-of-order reports mixed in.
+func stream(tags, n int) []trace.Report {
+	var out []trace.Report
+	for i := 0; i < n; i++ {
+		tag := fmt.Sprintf("tag-%02d", i%tags)
+		at := t0.Add(time.Duration(i*37) * time.Second)
+		if i%11 == 0 {
+			at = at.Add(-5 * time.Minute) // out of order
+		}
+		out = append(out, report(at, tag, geo.Destination(pos, float64(i%360), float64(i))))
+	}
+	return out
+}
+
+func TestNewRoundsShardsToPowerOfTwo(t *testing.T) {
+	for _, c := range []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards}, {1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {16, 16}, {17, 32},
+	} {
+		if got := New(c.in).NumShards(); got != c.want {
+			t.Errorf("New(%d).NumShards() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestShardCountInvariance: the same ingest sequence leaves byte-identical
+// state at every shard count — the property the cloud refactor rests on.
+func TestShardCountInvariance(t *testing.T) {
+	reports := stream(7, 500)
+	ref := newCloudlike(1)
+	for _, r := range reports {
+		ref.Ingest(r)
+	}
+	want := ref.Snapshot()
+	for _, shards := range []int{2, 4, 16, 64} {
+		s := newCloudlike(shards)
+		for _, r := range reports {
+			s.Ingest(r)
+		}
+		if got := s.Snapshot(); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: snapshot diverged from single-shard reference", shards)
+		}
+	}
+}
+
+func TestRateCapAndOutOfOrder(t *testing.T) {
+	s := newCloudlike(4)
+	if !s.Ingest(report(t0, "tag", pos)) {
+		t.Fatal("first report must be accepted")
+	}
+	p2 := geo.Destination(pos, 90, 100)
+	if s.Ingest(report(t0.Add(time.Minute), "tag", p2)) {
+		t.Error("report inside the rate cap must be rejected")
+	}
+	if s.Ingest(report(t0.Add(-time.Hour), "tag", p2)) {
+		t.Error("stale report must not regress last-seen")
+	}
+	got, at, _ := s.LastSeen("tag")
+	if got != pos || !at.Equal(t0) {
+		t.Error("rejected reports must not change state")
+	}
+	if !s.Ingest(report(t0.Add(s.MinUpdateInterval+time.Second), "tag", p2)) {
+		t.Error("report after the cap must be accepted")
+	}
+	if acc, rej := s.Stats(); acc != 2 || rej != 2 {
+		t.Errorf("stats = %d/%d, want 2/2", acc, rej)
+	}
+}
+
+func TestHistoryLimitRing(t *testing.T) {
+	s := newCloudlike(2)
+	s.HistoryLimit = 3
+	var want []trace.Report
+	for i := 0; i < 10; i++ {
+		r := report(t0.Add(time.Duration(i)*4*time.Minute), "tag", geo.Destination(pos, float64(i), float64(i*10)))
+		if !s.Ingest(r) {
+			t.Fatalf("report %d rejected", i)
+		}
+		want = append(want, r)
+	}
+	h := s.History("tag")
+	if len(h) != 3 {
+		t.Fatalf("history holds %d reports, want 3", len(h))
+	}
+	if !reflect.DeepEqual(h, want[7:]) {
+		t.Error("ring must retain the newest 3 reports oldest-first")
+	}
+	// Last-seen still tracks the newest accepted report.
+	if _, at, _ := s.LastSeen("tag"); !at.Equal(want[9].HeardAt) {
+		t.Error("LastSeen diverged from the newest report")
+	}
+	// Unbounded remains the default.
+	u := newCloudlike(2)
+	for i := 0; i < 10; i++ {
+		u.Ingest(report(t0.Add(time.Duration(i)*4*time.Minute), "tag", pos))
+	}
+	if len(u.History("tag")) != 10 {
+		t.Error("HistoryLimit=0 must keep every accepted report")
+	}
+}
+
+func TestRegisterTagIDsAndNumTags(t *testing.T) {
+	s := New(8)
+	s.Register("b")
+	s.Register("a")
+	s.Register("a") // idempotent
+	if ids := s.TagIDs(); len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Errorf("TagIDs = %v", ids)
+	}
+	if s.NumTags() != 2 {
+		t.Errorf("NumTags = %d", s.NumTags())
+	}
+	if _, _, ok := s.LastSeen("a"); ok {
+		t.Error("registered but unreported tag must have no location")
+	}
+	if s.History("nope") != nil {
+		t.Error("unknown tag history must be nil")
+	}
+}
+
+func TestRestoreBypassesCap(t *testing.T) {
+	s := newCloudlike(4)
+	s.Restore([]trace.Report{
+		report(t0, "tag", pos),
+		report(t0.Add(time.Second), "tag", geo.Destination(pos, 90, 50)), // far inside the cap
+	})
+	if len(s.History("tag")) != 2 {
+		t.Error("Restore must keep every already-accepted report")
+	}
+	if _, at, _ := s.LastSeen("tag"); !at.Equal(t0.Add(time.Second)) {
+		t.Error("Restore must advance last-seen to the freshest report")
+	}
+	if acc, _ := s.Stats(); acc != 2 {
+		t.Errorf("restored reports count as accepted, got %d", acc)
+	}
+	// Restoring an older dump afterwards must not regress last-seen.
+	s.Restore([]trace.Report{report(t0.Add(-time.Hour), "tag", pos)})
+	if _, at, _ := s.LastSeen("tag"); !at.Equal(t0.Add(time.Second)) {
+		t.Error("older restored dump regressed last-seen")
+	}
+}
+
+// TestConcurrentIngestMatchesSequential fans one deterministic stream
+// across writers partitioned by tag, under -race in CI: per-tag report
+// order is preserved (each tag's reports stay on one writer), so the
+// final snapshot must equal the sequential run's exactly.
+func TestConcurrentIngestMatchesSequential(t *testing.T) {
+	const tags, n, writers = 16, 2000, 8
+	reports := stream(tags, n)
+
+	seq := newCloudlike(1)
+	for _, r := range reports {
+		seq.Ingest(r)
+	}
+	want := seq.Snapshot()
+
+	conc := newCloudlike(16)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Partition by tag (report i is for tag i%tags), so each tag's
+			// subsequence stays on one goroutine in original order.
+			for i, r := range reports {
+				if (i%tags)%writers == w {
+					conc.Ingest(r)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := conc.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Error("concurrent ingest (partitioned by tag) diverged from sequential state")
+	}
+}
+
+// TestSnapshotConsistency: snapshots taken while writers run must be
+// internally consistent — the accepted counter equals the reports
+// reflected in the captured histories (all streams here are accepted).
+func TestSnapshotConsistency(t *testing.T) {
+	s := New(4)
+	s.KeepHistory = true
+	const writers, perWriter = 4, 300
+	var wg sync.WaitGroup
+	stopSnaps := make(chan struct{})
+	var snaps []Snapshot
+	wg.Add(1)
+	go func() { // snapshotter racing the writers
+		defer wg.Done()
+		for {
+			select {
+			case <-stopSnaps:
+				return
+			default:
+				snaps = append(snaps, s.Snapshot())
+			}
+		}
+	}()
+	var writerWg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		writerWg.Add(1)
+		go func(w int) {
+			defer writerWg.Done()
+			tag := fmt.Sprintf("tag-%d", w)
+			for i := 0; i < perWriter; i++ {
+				s.Ingest(report(t0.Add(time.Duration(i)*time.Hour), tag, pos))
+			}
+		}(w)
+	}
+	writerWg.Wait()
+	close(stopSnaps)
+	wg.Wait()
+	snaps = append(snaps, s.Snapshot())
+	for _, snap := range snaps {
+		total := uint64(0)
+		for _, ts := range snap.Tags {
+			total += uint64(len(ts.History))
+		}
+		if snap.Accepted != total {
+			t.Fatalf("inconsistent snapshot: accepted=%d but histories hold %d", snap.Accepted, total)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if final.Accepted != writers*perWriter {
+		t.Errorf("final accepted = %d, want %d", final.Accepted, writers*perWriter)
+	}
+}
+
+func TestSnapshotSortedAndConsistentPair(t *testing.T) {
+	s := newCloudlike(8)
+	for _, id := range []string{"zz", "aa", "mm"} {
+		s.Ingest(report(t0, id, pos))
+	}
+	snap := s.Snapshot()
+	if len(snap.Tags) != 3 || snap.Tags[0].ID != "aa" || snap.Tags[2].ID != "zz" {
+		t.Errorf("snapshot tags unsorted: %v", []string{snap.Tags[0].ID, snap.Tags[1].ID, snap.Tags[2].ID})
+	}
+	if snap.Accepted != 3 || snap.Rejected != 0 {
+		t.Errorf("snapshot counters = %d/%d", snap.Accepted, snap.Rejected)
+	}
+}

@@ -28,12 +28,16 @@ import (
 	"tagsim/internal/analysis"
 	"tagsim/internal/antistalk"
 	"tagsim/internal/ble"
+	"tagsim/internal/cloud"
 	"tagsim/internal/experiments"
 	"tagsim/internal/geo"
+	"tagsim/internal/load"
 	"tagsim/internal/mobility"
 	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
+	"tagsim/internal/serve"
 	"tagsim/internal/stats"
+	"tagsim/internal/store"
 	"tagsim/internal/tag"
 	"tagsim/internal/trace"
 )
@@ -192,6 +196,51 @@ var (
 	WelchTTest = stats.WelchTTest
 	// Stars renders p-values in the paper's ns/*/**/***/**** notation.
 	Stars = stats.Stars
+	// LatencyQuantiles computes the p50/p95/p99 summary the load
+	// harness reports.
+	LatencyQuantiles = stats.Quantiles
+)
+
+// Serving subsystem: the sharded concurrent report store behind the
+// vendor clouds, the HTTP query API the paper's crawlers
+// reverse-engineered, and the closed-loop load harness.
+type (
+	// CloudService is one vendor's location backend (a vendor label
+	// over a ReportStore).
+	CloudService = cloud.Service
+	// CombinedClouds is the paper's emulated unified ecosystem view.
+	CombinedClouds = cloud.Combined
+	// ReportStore is the sharded, concurrency-safe report store.
+	ReportStore = store.Store
+	// StoreSnapshot is a consistent point-in-time view of a store.
+	StoreSnapshot = store.Snapshot
+	// QueryServer is the http.Handler exposing /v1/lastknown, /v1/history,
+	// /v1/track, /v1/stats and POST /v1/report.
+	QueryServer = serve.Server
+	// LoadConfig parameterizes the deterministic closed-loop load
+	// generator.
+	LoadConfig = load.Config
+	// LoadResult is one load run's throughput/latency report.
+	LoadResult = load.Result
+	// LoadTarget is a serving backend the load generator can drive.
+	LoadTarget = load.Target
+)
+
+var (
+	// NewCloudService creates a vendor cloud on the default shard count.
+	NewCloudService = cloud.NewService
+	// NewCloudServiceSharded sizes the backing store's shard count.
+	NewCloudServiceSharded = cloud.NewServiceSharded
+	// NewReportStore creates a bare sharded report store.
+	NewReportStore = store.New
+	// NewQueryServer builds the vendor query API over per-vendor clouds.
+	NewQueryServer = serve.NewServer
+	// RunLoad drives a target with the closed-loop load generator.
+	RunLoad = load.Run
+	// NewHTTPTarget points the load generator at a query API base URL.
+	NewHTTPTarget = load.NewHTTPTarget
+	// NewServiceTarget points the load generator directly at the stores.
+	NewServiceTarget = load.NewServiceTarget
 )
 
 // Tag hardware models.
