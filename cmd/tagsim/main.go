@@ -29,6 +29,7 @@ func main() {
 	scenarioName := flag.String("scenario", "wild", "scenario to run: wild or cafeteria")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.1, "wild campaign scale")
+	fleetScale := flag.Float64("fleet-scale", 1, "reporting-fleet size multiplier (residents, pedestrians, staff, neighbors, co-travelers)")
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = sequential)")
 	replicates := flag.Int("replicates", 1, "wild campaign replicates to run from derived seeds")
 	out := flag.String("out", "traces", "output directory")
@@ -39,7 +40,7 @@ func main() {
 	}
 	switch *scenarioName {
 	case "wild":
-		runWild(*seed, *scale, *workers, *replicates, *out)
+		runWild(*seed, *scale, *fleetScale, *workers, *replicates, *out)
 	case "cafeteria":
 		runCafeteria(*seed, *out)
 	default:
@@ -47,8 +48,8 @@ func main() {
 	}
 }
 
-func runWild(seed int64, scale float64, workers, replicates int, out string) {
-	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers}
+func runWild(seed int64, scale, fleetScale float64, workers, replicates int, out string) {
+	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, FleetScale: fleetScale, Workers: workers}
 	if replicates <= 1 {
 		writeWildTraces(tagsim.RunWild(cfg), out)
 		return

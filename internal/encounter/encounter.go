@@ -67,6 +67,20 @@ type Plane struct {
 	// KeepLog retains every delivered report in reportsLog (diagnostics;
 	// the clouds keep their own accepted history).
 	KeepLog bool
+
+	// Scan hot-path state, all plane-owned so a tick allocates nothing:
+	// tickKey is the RFC3339Nano scan instant formatted once per tick;
+	// tagSeed caches each tag's "encounter/<id>/" stream-seed prefix, so
+	// the per-(tag, tick) seed is tickKey hashed onto the cached prefix —
+	// the exact seed the historical RNG(name) derivation produced; stream
+	// is the reusable rand.Rand those seeds re-key; beaconRem carries the
+	// fractional expected-beacon mass between ticks per tag, keeping
+	// long-run emitted-beacon accounting unbiased when the scan interval
+	// is not a multiple of the advertising interval.
+	tickKey   []byte
+	tagSeed   []sim.StreamSeed
+	stream    *sim.Stream
+	beaconRem []float64
 }
 
 // New builds a radio plane. Services are keyed by tag vendor; a tag whose
@@ -74,13 +88,21 @@ type Plane struct {
 // nowhere (used by ablations).
 func New(cfg Config, e *sim.Engine, fleet *device.Fleet, tags []*tag.Tag, services map[trace.Vendor]*cloud.Service) *Plane {
 	cfg.defaults()
+	tagSeed := make([]sim.StreamSeed, len(tags))
+	for i, tg := range tags {
+		tagSeed[i] = e.StreamSeed().String("encounter/").String(tg.ID).String("/")
+	}
 	return &Plane{
-		cfg:      cfg,
-		engine:   e,
-		fleet:    fleet,
-		tags:     tags,
-		services: services,
-		buf:      make([]*device.Device, 0, 256),
+		cfg:       cfg,
+		engine:    e,
+		fleet:     fleet,
+		tags:      tags,
+		services:  services,
+		buf:       make([]*device.Device, 0, 256),
+		tickKey:   make([]byte, 0, len(time.RFC3339Nano)),
+		tagSeed:   tagSeed,
+		stream:    sim.NewStream(),
+		beaconRem: make([]float64, len(tags)),
 	}
 }
 
@@ -91,21 +113,29 @@ func (p *Plane) Attach(start time.Time) (stop func()) {
 
 // ScanOnce evaluates one encounter window at the given virtual time.
 func (p *Plane) ScanOnce(now time.Time) {
-	for _, tg := range p.tags {
-		p.scanTag(tg, now)
+	// One formatting of the scan instant serves every tag this tick; it
+	// is the per-tick suffix of each tag's RNG stream name.
+	p.tickKey = now.UTC().AppendFormat(p.tickKey[:0], time.RFC3339Nano)
+	for i, tg := range p.tags {
+		p.scanTag(i, tg, now)
 	}
 }
 
-func (p *Plane) scanTag(tg *tag.Tag, now time.Time) {
+func (p *Plane) scanTag(ti int, tg *tag.Tag, now time.Time) {
 	tagPos := tg.Pos(now)
 	beacons := tg.ExpectedBeacons(p.cfg.ScanInterval)
-	tg.CountBeacons(uint64(beacons))
+	// Count whole beacons and carry the fractional mass to the next tick,
+	// so e.g. 22.5 expected beacons per window accounts 45 over two ticks
+	// instead of truncating to 44.
+	whole, frac := math.Modf(beacons + p.beaconRem[ti])
+	p.beaconRem[ti] = frac
+	tg.CountBeacons(uint64(whole))
 
 	p.buf = p.fleet.Near(tagPos, now, p.cfg.MaxRangeM, p.buf[:0])
 	if len(p.buf) == 0 {
 		return
 	}
-	rng := p.engine.RNG(scanStreamName(tg.ID, now))
+	rng := p.stream.Reseed(p.tagSeed[ti].Bytes(p.tickKey).Seed())
 	for _, dev := range p.buf {
 		if !dev.Reports(tg.Profile.Vendor, p.cfg.CrossEcosystem) {
 			continue
@@ -155,9 +185,11 @@ func (p *Plane) scanTag(tg *tag.Tag, now time.Time) {
 	}
 }
 
-// scanStreamName derives a deterministic RNG stream per (tag, scan
-// instant) so scan outcomes do not depend on how many other entities drew
-// from a shared stream earlier.
+// scanStreamName is the per-(tag, scan instant) RNG stream name, so scan
+// outcomes do not depend on how many other entities drew from a shared
+// stream earlier. The hot path never builds this string — it extends the
+// cached per-tag seed prefix with the tick key instead — but the name is
+// the frozen contract both derivations must match (see TestScanStream).
 func scanStreamName(tagID string, now time.Time) string {
 	return "encounter/" + tagID + "/" + now.UTC().Format(time.RFC3339Nano)
 }

@@ -254,6 +254,69 @@ func TestMovingTagPicksUpRoadsideDevices(t *testing.T) {
 	}
 }
 
+// TestScanStream pins the hot path's seed derivation to the frozen
+// stream-name contract: the cached per-tag prefix extended with the tick
+// key must yield the exact stream RNG(scanStreamName(...)) yields — the
+// byte-identity guarantee of the allocation-free rewrite.
+func TestScanStream(t *testing.T) {
+	w := buildWorld(3, 3, 10, Config{})
+	p := w.plane
+	for _, instant := range []time.Time{
+		t0,
+		t0.Add(30 * time.Second),
+		t0.Add(12*time.Hour + 123456789*time.Nanosecond),
+	} {
+		for i, tg := range p.tags {
+			key := []byte(instant.UTC().Format(time.RFC3339Nano))
+			fast := p.stream.Reseed(p.tagSeed[i].Bytes(key).Seed())
+			legacy := p.engine.RNG(scanStreamName(tg.ID, instant))
+			for d := 0; d < 16; d++ {
+				if f, l := fast.Float64(), legacy.Float64(); f != l {
+					t.Fatalf("tag %s at %v draw %d: fast %v, legacy %v", tg.ID, instant, d, f, l)
+				}
+			}
+		}
+	}
+}
+
+// TestBeaconCarryUnbiased: when the scan interval is not a multiple of
+// the advertising interval, the fractional expected-beacon mass carries
+// across ticks instead of being truncated away every scan.
+func TestBeaconCarryUnbiased(t *testing.T) {
+	e := sim.NewEngine(t0, 11)
+	fleet := device.NewFleet(origin, nil)
+	air := tag.New("airtag-1", tag.AirTagProfile(), mobility.Stationary(origin), 1, t0)
+	// 45 s scans at a 2 s advertising interval: 22.5 expected beacons per
+	// tick. Truncation would count 22 per tick (a 2.2% long-run bias).
+	plane := New(Config{ScanInterval: 45 * time.Second}, e, fleet, []*tag.Tag{air}, nil)
+	plane.Attach(t0)
+	e.RunFor(time.Hour)
+	// 80 whole ticks plus the tick at t0 = 81 scans x 22.5 = 1822.5.
+	got := air.BeaconsEmitted()
+	if got != 1822 {
+		t.Errorf("beacons after 1 h of 45 s scans = %d, want 1822 (22.5/tick carried)", got)
+	}
+}
+
+// TestScanOnceAllocationFree: after warm-up, a scan tick with no
+// reportable encounters allocates nothing (report delivery still
+// schedules closures, so only the encounter-free path can be exactly
+// zero; it is the path taken almost every tick at campaign scale).
+func TestScanOnceAllocationFree(t *testing.T) {
+	// Devices present but out of radio range: Near prunes them, so the
+	// tick exercises formatting + candidate search without scheduling.
+	w := buildWorld(50, 50, 3000, Config{})
+	w.plane.ScanOnce(t0) // warm tick-key and scratch buffers
+	i := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		i++
+		w.plane.ScanOnce(t0.Add(time.Duration(i) * 30 * time.Second))
+	})
+	if allocs != 0 {
+		t.Errorf("encounter-free ScanOnce allocates %.1f times, want 0", allocs)
+	}
+}
+
 func BenchmarkScanOnceDenseCrowd(b *testing.B) {
 	w := buildWorld(300, 100, 25, Config{})
 	b.ResetTimer()

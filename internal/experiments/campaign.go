@@ -22,6 +22,11 @@ type Options struct {
 	Seed           int64
 	Scale          float64
 	DevicesPerCity int
+	// FleetScale multiplies every reporting-crowd size (residents,
+	// ambient pedestrians, staff, neighbors, co-travelers); 0 or 1 keeps
+	// the paper-calibrated fleet. The grid-indexed encounter plane keeps
+	// scan cost flat as this grows (see BenchmarkScanOnce).
+	FleetScale float64
 	// Workers bounds how many independent simulation worlds (countries,
 	// replicates, figure computations) run concurrently: 0 means one per
 	// CPU, 1 is fully sequential. Results are identical for any value.
@@ -39,6 +44,7 @@ func (o Options) wildConfig() scenario.WildConfig {
 		Seed:           o.Seed,
 		Scale:          o.Scale,
 		DevicesPerCity: o.DevicesPerCity,
+		FleetScale:     o.FleetScale,
 		Workers:        o.Workers,
 	}
 }

@@ -5,7 +5,9 @@ import (
 	"testing"
 	"time"
 
+	"tagsim/internal/device"
 	"tagsim/internal/geo"
+	"tagsim/internal/trace"
 )
 
 // tinyCampaign is a three-country campaign small enough to simulate in
@@ -71,6 +73,59 @@ func TestWildParallelDeterminism(t *testing.T) {
 					workers, a.Spec.Code, len(a.Dataset.GroundTruth), len(b.Dataset.GroundTruth), a.AppleNow, b.AppleNow)
 			}
 		}
+	}
+}
+
+// TestWildGridEquivalence is the spatial-index refactor's headline
+// property: a full campaign on the grid-indexed, allocation-lean hot
+// path deep-equals the brute-force linear-scan path — the seed
+// implementation's candidate search — for multiple seeds and worker
+// counts. Combined with TestWildParallelDeterminism this pins the
+// refactor to byte-identical output. Runs under -race in CI.
+func TestWildGridEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wild campaign is slow")
+	}
+	for _, seed := range []int64{31, 77} {
+		for _, workers := range []int{1, 0} {
+			was := device.SetGridIndexing(false)
+			brute := RunWild(tinyCampaign(seed, workers))
+			device.SetGridIndexing(true)
+			grid := RunWild(tinyCampaign(seed, workers))
+			device.SetGridIndexing(was)
+			if !reflect.DeepEqual(brute, grid) {
+				for i := range brute.Countries {
+					a, b := brute.Countries[i], grid.Countries[i]
+					if !reflect.DeepEqual(a, b) {
+						t.Errorf("seed=%d workers=%d: country %s diverged between brute and grid paths (fixes %d vs %d, apple now %d vs %d)",
+							seed, workers, a.Spec.Code, len(a.Dataset.GroundTruth), len(b.Dataset.GroundTruth), a.AppleNow, b.AppleNow)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWildFleetScale: the fleet-growth knob multiplies the reporting
+// crowds (more devices, more reports) while FleetScale=1 — the default —
+// is the exact identity.
+func TestWildFleetScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wild campaign is slow")
+	}
+	cfg := tinyCampaign(13, 0)
+	cfg.Countries = cfg.Countries[:1]
+	base := RunWild(cfg)
+	cfg.FleetScale = 1
+	if explicit := RunWild(cfg); !reflect.DeepEqual(base, explicit) {
+		t.Error("FleetScale=1 must be byte-identical to the unset default")
+	}
+	cfg.FleetScale = 3
+	big := RunWild(cfg)
+	baseReports := len(base.Countries[0].Dataset.CrawlsFor(trace.VendorApple))
+	bigReports := len(big.Countries[0].Dataset.CrawlsFor(trace.VendorApple))
+	if bigReports < baseReports {
+		t.Errorf("3x fleet produced fewer apple crawl records (%d) than 1x (%d)", bigReports, baseReports)
 	}
 }
 

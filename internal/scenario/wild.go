@@ -47,6 +47,13 @@ type WildConfig struct {
 	Scale float64
 	// DevicesPerCity sizes each city's reporting fleet (default 600).
 	DevicesPerCity int
+	// FleetScale multiplies every reporting-crowd size — city residents,
+	// ambient pedestrians, venue staff, home neighbors, and co-traveler
+	// draws — without touching the participant itinerary or geography
+	// (default 1). It is the fleet-growth knob the encounter plane's
+	// spatial index exists for: 10-100x fleets while the scan stays on
+	// the grid-indexed hot path.
+	FleetScale float64
 	// CityRadiusKm bounds each synthetic city (default 2).
 	CityRadiusKm float64
 	// Workers bounds how many country worlds run concurrently: 0 means
@@ -67,9 +74,26 @@ func (c *WildConfig) defaults() {
 	if c.DevicesPerCity <= 0 {
 		c.DevicesPerCity = 600
 	}
+	if c.FleetScale <= 0 {
+		c.FleetScale = 1
+	}
 	if c.CityRadiusKm <= 0 {
 		c.CityRadiusKm = 2
 	}
+}
+
+// scaleCount applies FleetScale to a crowd size, never dropping a crowd
+// to zero. At the default scale of 1 it is the identity, so the RNG draw
+// sequence — and therefore the whole campaign output — is untouched.
+func (c *WildConfig) scaleCount(n int) int {
+	if c.FleetScale == 1 {
+		return n
+	}
+	scaled := int(float64(n)*c.FleetScale + 0.5)
+	if scaled < 1 {
+		scaled = 1
+	}
+	return scaled
 }
 
 // CountryResult is one country's campaign output.
@@ -291,7 +315,7 @@ func (j CountryJob) build() *countryWorld {
 		}
 	}
 	for i := range centers {
-		for k := 0; k < cfg.DevicesPerCity; k++ {
+		for k := 0; k < cfg.scaleCount(cfg.DevicesPerCity); k++ {
 			vendor := pickVendor()
 			var home geo.LatLon
 			if rng.Float64() < 0.35 {
@@ -317,7 +341,7 @@ func (j CountryJob) build() *countryWorld {
 		// street empties at night, which is what depresses the paper's
 		// night-period accuracy (Figure 5e).
 		for vi, v := range venues[i] {
-			for k := 0; k < 12; k++ {
+			for k := 0; k < cfg.scaleCount(12); k++ {
 				w := dayWanderer(rng, v, 250, start, days)
 				d := device.New(fmt.Sprintf("%s-c%d-amb%d-%d", spec.Code, i, vi, k), pickVendor(), v, w)
 				if d.Vendor == trace.VendorSamsung {
@@ -328,7 +352,7 @@ func (j CountryJob) build() *countryWorld {
 			// Venue dwellers: staff and seated patrons whose phones sit
 			// meters from anyone at the venue during opening hours — the
 			// cafe tables of the paper's campaign.
-			for k := 0; k < 3; k++ {
+			for k := 0; k < cfg.scaleCount(3); k++ {
 				p := geo.Destination(v, rng.Float64()*360, 5+rng.Float64()*20)
 				d := device.New(fmt.Sprintf("%s-c%d-stf%d-%d", spec.Code, i, vi, k), pickVendor(), p, venueDweller(rng, p, start, days))
 				if d.Vendor == trace.VendorSamsung {
@@ -344,7 +368,7 @@ func (j CountryJob) build() *countryWorld {
 	// home) but is excluded from the accuracy analysis by the home
 	// filter.
 	for hi, h := range homes {
-		for k := 0; k < 12; k++ {
+		for k := 0; k < cfg.scaleCount(12); k++ {
 			np := geo.Destination(h, rng.Float64()*360, 30+rng.Float64()*220)
 			d := device.New(fmt.Sprintf("%s-nbr%d-%d", spec.Code, hi, k), pickVendor(), np, mobility.Stationary(np))
 			if d.Vendor == trace.VendorSamsung {
@@ -357,7 +381,7 @@ func (j CountryJob) build() *countryWorld {
 	// transit rides — the paper's trains and buses are full of phones
 	// that ride within Bluetooth range for the whole leg.
 	for si, spec2 := range coTravel {
-		n := poisson(rng, 6)
+		n := poisson(rng, 6*cfg.FleetScale)
 		for k := 0; k < n; k++ {
 			it := mobility.NewItinerary(spec2.start, spec2.segments...)
 			d := device.New(fmt.Sprintf("%s-ride%d-pax%d", spec.Code, si, k), pickVendor(), it.Pos(spec2.start), it)

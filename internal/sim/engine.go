@@ -11,25 +11,24 @@ package sim
 
 import (
 	"container/heap"
-	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"time"
 )
 
 // Engine is a single-threaded discrete-event scheduler.
 type Engine struct {
-	now     time.Time
-	queue   eventQueue
-	seq     uint64
-	seed    int64
-	stopped bool
-	events  uint64 // total events executed, for diagnostics
+	now        time.Time
+	queue      eventQueue
+	seq        uint64
+	seed       int64
+	streamBase StreamSeed // hash state of "<seed>/", root of every named stream
+	stopped    bool
+	events     uint64 // total events executed, for diagnostics
 }
 
 // NewEngine creates an engine with the virtual clock set to start.
 func NewEngine(start time.Time, seed int64) *Engine {
-	return &Engine{now: start, seed: seed}
+	return &Engine{now: start, seed: seed, streamBase: streamBase(seed)}
 }
 
 // Now returns the current virtual time.
@@ -43,11 +42,12 @@ func (e *Engine) EventsExecuted() uint64 { return e.events }
 
 // RNG derives a deterministic random stream for a named entity. Streams
 // with the same (engine seed, name) are identical; distinct names are
-// statistically independent.
+// statistically independent. The seed derivation is the frozen FNV-1a
+// construction documented on StreamSeed; hot paths that cannot afford
+// this call's allocations derive the same sequences via StreamSeed and
+// a reusable Stream.
 func (e *Engine) RNG(name string) *rand.Rand {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d/%s", e.seed, name)
-	return rand.New(rand.NewSource(int64(h.Sum64())))
+	return rand.New(rand.NewSource(e.streamBase.String(name).Seed()))
 }
 
 // Timer is a handle to a scheduled event.

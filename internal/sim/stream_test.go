@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+	"time"
+)
+
+// legacySeed is the historical stream-seed construction RNG used before
+// the allocation-free derivation: fmt over an fnv hasher. The StreamSeed
+// contract freezes this mapping, so the tests reproduce it verbatim.
+func legacySeed(engineSeed int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", engineSeed, name)
+	return int64(h.Sum64())
+}
+
+func TestStreamSeedMatchesLegacyDerivation(t *testing.T) {
+	names := []string{
+		"", "x", "country/AE",
+		"encounter/airtag-1/2022-03-07T09:00:30Z",
+		"encounter/smarttag-1/2022-03-07T09:00:30.123456789Z",
+		"vantage/DE", "crawl/apple/FR", "unicode/日本語",
+	}
+	for _, seed := range []int64{0, 1, -1, 42, -9223372036854775808, 9223372036854775807} {
+		e := NewEngine(time.Unix(0, 0), seed)
+		for _, name := range names {
+			want := legacySeed(seed, name)
+			if got := e.StreamSeed().String(name).Seed(); got != want {
+				t.Errorf("seed %d name %q: StreamSeed = %d, want legacy %d", seed, name, got, want)
+			}
+			if got := e.StreamSeed().Bytes([]byte(name)).Seed(); got != want {
+				t.Errorf("seed %d name %q: StreamSeed.Bytes = %d, want legacy %d", seed, name, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamSeedIncremental: splitting a name across String/Bytes calls
+// hashes the same as one shot — the property the encounter plane relies
+// on to cache per-tag prefixes and append per-tick suffixes.
+func TestStreamSeedIncremental(t *testing.T) {
+	e := NewEngine(time.Unix(0, 0), 7)
+	oneShot := e.StreamSeed().String("encounter/airtag-1/2022-03-07T09:00:30Z")
+	split := e.StreamSeed().String("encounter/").String("airtag-1").String("/").
+		Bytes([]byte("2022-03-07T09:00:30Z"))
+	if oneShot != split {
+		t.Fatalf("incremental hashing diverged: %d vs %d", oneShot, split)
+	}
+}
+
+// TestStreamReseedMatchesRNG: a reseeded Stream draws the exact sequence
+// of a freshly built engine stream — across reseeds, in any order.
+func TestStreamReseedMatchesRNG(t *testing.T) {
+	e := NewEngine(time.Unix(0, 0), 99)
+	s := NewStream()
+	names := []string{"a", "b", "a", "c/deeper", "a"}
+	for _, name := range names {
+		fresh := e.RNG(name)
+		reused := s.Reseed(e.StreamSeed().String(name).Seed())
+		for i := 0; i < 20; i++ {
+			if f, r := fresh.Float64(), reused.Float64(); f != r {
+				t.Fatalf("stream %q draw %d: %v vs %v", name, i, f, r)
+			}
+		}
+		// Exercise the other draw kinds the simulation uses.
+		fresh, reused = e.RNG(name), s.Reseed(e.StreamSeed().String(name).Seed())
+		if f, r := fresh.NormFloat64(), reused.NormFloat64(); f != r {
+			t.Fatalf("stream %q NormFloat64: %v vs %v", name, f, r)
+		}
+		if f, r := fresh.Int63n(1<<40), reused.Int63n(1<<40); f != r {
+			t.Fatalf("stream %q Int63n: %v vs %v", name, f, r)
+		}
+	}
+}
+
+// TestStreamZeroAlloc: deriving a seed and reseeding must not allocate —
+// the whole point of the API.
+func TestStreamZeroAlloc(t *testing.T) {
+	e := NewEngine(time.Unix(0, 0), 5)
+	s := NewStream()
+	prefix := e.StreamSeed().String("encounter/airtag-1/")
+	suffix := []byte("2022-03-07T09:00:30Z")
+	var sink float64
+	allocs := testing.AllocsPerRun(100, func() {
+		rng := s.Reseed(prefix.Bytes(suffix).Seed())
+		sink += rng.Float64()
+	})
+	if allocs != 0 {
+		t.Errorf("Reseed+draw allocates %.1f times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestStreamIndependence: distinct names produce distinct sequences (the
+// anti-collision property named streams exist for).
+func TestStreamIndependence(t *testing.T) {
+	e := NewEngine(time.Unix(0, 0), 1)
+	a := e.RNG("stream-a")
+	b := e.RNG("stream-b")
+	same := 0
+	for i := 0; i < 32; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("streams a and b agreed on %d/32 draws", same)
+	}
+}
+
+func BenchmarkRNGNamed(b *testing.B) {
+	e := NewEngine(time.Unix(0, 0), 1)
+	suffix := []byte("2022-03-07T09:00:30Z")
+	b.Run("legacy-alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += e.RNG("encounter/airtag-1/" + string(suffix)).Float64()
+		}
+		_ = sink
+	})
+	b.Run("stream-reuse", func(b *testing.B) {
+		b.ReportAllocs()
+		s := NewStream()
+		prefix := e.StreamSeed().String("encounter/airtag-1/")
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += s.Reseed(prefix.Bytes(suffix).Seed()).Float64()
+		}
+		_ = sink
+	})
+}
