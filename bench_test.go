@@ -21,8 +21,11 @@ import (
 var (
 	benchOnce     sync.Once
 	benchCampaign *tagsim.Campaign
+	largeOnce     sync.Once
+	largeCampaign *tagsim.Campaign
 	printedMu     sync.Mutex
 	printed       = map[string]bool{}
+	benchSink     float64
 )
 
 func campaign(b *testing.B) *tagsim.Campaign {
@@ -31,6 +34,18 @@ func campaign(b *testing.B) *tagsim.Campaign {
 		benchCampaign = tagsim.NewCampaign(tagsim.CampaignOptions{Seed: 1, Scale: 0.15, DevicesPerCity: 400})
 	})
 	return benchCampaign
+}
+
+// largeAnalysisCampaign is the "large crawl log" shape of
+// BenchmarkAnalysisSweep: twice the simulated days and a 4x reporting
+// crowd, which roughly doubles the raw crawl records per vendor and
+// densifies the distinct-report stream the analysis plane digests.
+func largeAnalysisCampaign(b *testing.B) *tagsim.Campaign {
+	b.Helper()
+	largeOnce.Do(func() {
+		largeCampaign = tagsim.NewCampaign(tagsim.CampaignOptions{Seed: 1, Scale: 0.3, DevicesPerCity: 400, FleetScale: 4})
+	})
+	return largeCampaign
 }
 
 // printOnce emits a figure's rendering into the benchmark output exactly
@@ -254,6 +269,89 @@ func BenchmarkAblationStrategy(b *testing.B) {
 		}
 	}
 	b.ReportMetric(uncapped, "uncapped_upd_per_h")
+}
+
+// regenerateAnalysisFigures recomputes every accuracy figure of the
+// paper's wild evaluation — Figures 5a-c (three radius sweeps), 5d-f
+// (three classified panels), and 8 (radius x window grid) — over one
+// campaign: the analysis plane's full read workload.
+func regenerateAnalysisFigures(c *tagsim.Campaign) float64 {
+	sink := 0.0
+	for _, radius := range []float64{10, 25, 100} {
+		sink += tagsim.Figure5Sweep(c, radius).Acc(tagsim.VendorCombined, 10)
+	}
+	sink += tagsim.Figure5d(c).Mean("Pedestrian", 100)
+	sink += tagsim.Figure5e(c).Mean("Morning", 25)
+	sink += tagsim.Figure5f(c).Mean("Weekday", 25)
+	sink += tagsim.Figure8(c).Acc[time.Hour][100]
+	return sink
+}
+
+// BenchmarkAnalysisSweep times the full Figure 5a-f + 8 regeneration on
+// small and large crawl logs, before and after the analysis-plane
+// index. mode=legacy routes every metric through the historical
+// per-figure rescans (tagsim.SetIndexedAnalysis escape hatch, one dedup
+// + truth resolution per sweep point); mode=indexed merges against the
+// campaign's cached per-vendor columnar indexes. Both run the worker
+// pool at one worker so ns/op compares the analysis work itself;
+// mode=indexed-parallel adds the figure fan-out across all CPUs. The
+// recorded baseline lives in BENCH_analysis.json.
+func BenchmarkAnalysisSweep(b *testing.B) {
+	// The campaigns resolve lazily inside b.Run so a filtered run (such
+	// as CI's /log=small smoke) never simulates the large shape.
+	shapes := []struct {
+		name string
+		c    func(b *testing.B) *tagsim.Campaign
+	}{
+		{"log=small", campaign},
+		{"log=large", largeAnalysisCampaign},
+	}
+	for _, shape := range shapes {
+		for _, mode := range []string{"legacy", "indexed", "indexed-parallel"} {
+			mode := mode
+			b.Run(shape.name+"/mode="+mode, func(b *testing.B) {
+				run := *shape.c(b) // shallow per-mode copy to pin the worker knob
+				if mode == "indexed-parallel" {
+					run.Options.Workers = 0
+				} else {
+					run.Options.Workers = 1
+				}
+				if mode == "legacy" {
+					was := tagsim.SetIndexedAnalysis(false)
+					defer tagsim.SetIndexedAnalysis(was)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchSink = regenerateAnalysisFigures(&run)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAnalysisIndexBuild times the one-time cost the indexed modes
+// amortize: dedup plus truth resolution of the combined crawl log.
+func BenchmarkAnalysisIndexBuild(b *testing.B) {
+	shapes := []struct {
+		name string
+		c    func(b *testing.B) *tagsim.Campaign
+	}{
+		{"log=small", campaign},
+		{"log=large", largeAnalysisCampaign},
+	}
+	for _, shape := range shapes {
+		b.Run(shape.name, func(b *testing.B) {
+			c := shape.c(b)
+			reports := c.Crawls(tagsim.VendorCombined)
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = tagsim.NewAnalysisIndex(c.Truth, reports).Reports()
+			}
+			b.ReportMetric(float64(n), "distinct_reports")
+			b.ReportMetric(float64(len(reports)), "raw_records")
+		})
+	}
 }
 
 // BenchmarkCampaignSimulation times the in-the-wild simulation itself

@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"sort"
 	"time"
 
 	"tagsim/internal/geo"
@@ -37,7 +36,21 @@ func (r *AccuracyResult) Add(o AccuracyResult) {
 // The bucket length doubles as the responsiveness axis of Figures 5a-c:
 // a 10-minute bucket asks "could the stalker locate the victim within 10
 // minutes", a 120-minute bucket relaxes that to two hours.
+//
+// One-shot convenience over NewIndex(truth, reports).Accuracy; callers
+// evaluating many (bucket, radius, window) combinations over the same
+// data should build the Index once instead.
 func Accuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time) AccuracyResult {
+	if !IndexedAnalysis() {
+		return accuracyScan(truth, reports, bucket, radiusM, from, to)
+	}
+	return NewIndex(truth, reports).Accuracy(bucket, radiusM, from, to)
+}
+
+// accuracyScan is the pre-index reference implementation — the seed's
+// per-call scan, kept verbatim (mirroring device.NearBrute) as the
+// ground truth the index-backed merge is property-tested against.
+func accuracyScan(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time) AccuracyResult {
 	if bucket <= 0 || !to.After(from) {
 		return AccuracyResult{}
 	}
@@ -70,37 +83,27 @@ func Accuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Durati
 }
 
 // distinctByReportTime collapses repeated crawl observations of the same
-// underlying report and sorts by report time.
+// underlying report (trace.DistinctReports, the dedup shared with the
+// crawler) and sorts by report time under a deterministic total order.
 func distinctByReportTime(reports []trace.CrawlRecord) []trace.CrawlRecord {
-	type key struct {
-		tag string
-		pos geo.LatLon
-	}
-	var out []trace.CrawlRecord
-	last := make(map[key]time.Time)
-	for _, r := range reports {
-		k := key{r.TagID, r.Pos}
-		if prev, ok := last[k]; ok && absDur(prev.Sub(r.ReportedAt)) <= 90*time.Second {
-			continue
-		}
-		last[k] = r.ReportedAt
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ReportedAt.Before(out[j].ReportedAt) })
+	out := trace.DistinctReports(reports)
+	trace.SortByReportTime(out)
 	return out
-}
-
-func absDur(d time.Duration) time.Duration {
-	if d < 0 {
-		return -d
-	}
-	return d
 }
 
 // DailyAccuracy computes one accuracy sample per UTC day — the per-scenario
 // sample population the paper runs its t-tests over. Days with fewer than
 // minBuckets qualifying buckets are skipped.
 func DailyAccuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, minBuckets int) []float64 {
+	if !IndexedAnalysis() {
+		return dailyAccuracyScan(truth, reports, bucket, radiusM, from, to, minBuckets)
+	}
+	return NewIndex(truth, reports).DailyAccuracy(bucket, radiusM, from, to, minBuckets)
+}
+
+// dailyAccuracyScan is the pre-index reference implementation of
+// DailyAccuracy (per-day rescan of the raw crawl log).
+func dailyAccuracyScan(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, minBuckets int) []float64 {
 	if minBuckets <= 0 {
 		minBuckets = 3
 	}
@@ -111,7 +114,7 @@ func DailyAccuracy(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.D
 		if !hi.After(lo) {
 			continue
 		}
-		res := Accuracy(truth, reports, bucket, radiusM, lo, hi)
+		res := accuracyScan(truth, reports, bucket, radiusM, lo, hi)
 		if res.Buckets >= minBuckets {
 			out = append(out, res.Pct())
 		}
@@ -126,6 +129,15 @@ type BucketClassifier func(bucketStart, bucketEnd time.Time) (class string, ok b
 // AccuracyByClass splits buckets by a classifier and tallies accuracy per
 // class — the machinery behind Figures 5d, 5e, and 5f.
 func AccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier) map[string]AccuracyResult {
+	if !IndexedAnalysis() {
+		return accuracyByClassScan(truth, reports, bucket, radiusM, from, to, classify)
+	}
+	return NewIndex(truth, reports).AccuracyByClass(bucket, radiusM, from, to, classify)
+}
+
+// accuracyByClassScan is the pre-index reference implementation of
+// AccuracyByClass.
+func accuracyByClassScan(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier) map[string]AccuracyResult {
 	out := make(map[string]AccuracyResult)
 	if bucket <= 0 || !to.After(from) {
 		return out
@@ -164,6 +176,15 @@ func AccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket time
 // DailyAccuracyByClass produces per-day accuracy samples per class, the
 // inputs to the paper's t-tests (one mean accuracy per day per scenario).
 func DailyAccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier, minBuckets int) map[string][]float64 {
+	if !IndexedAnalysis() {
+		return dailyAccuracyByClassScan(truth, reports, bucket, radiusM, from, to, classify, minBuckets)
+	}
+	return NewIndex(truth, reports).DailyAccuracyByClass(bucket, radiusM, from, to, classify, minBuckets)
+}
+
+// dailyAccuracyByClassScan is the pre-index reference implementation of
+// DailyAccuracyByClass.
+func dailyAccuracyByClassScan(truth *TruthIndex, reports []trace.CrawlRecord, bucket time.Duration, radiusM float64, from, to time.Time, classify BucketClassifier, minBuckets int) map[string][]float64 {
 	if minBuckets <= 0 {
 		minBuckets = 3
 	}
@@ -174,7 +195,7 @@ func DailyAccuracyByClass(truth *TruthIndex, reports []trace.CrawlRecord, bucket
 		if !hi.After(lo) {
 			continue
 		}
-		byClass := AccuracyByClass(truth, reports, bucket, radiusM, lo, hi, classify)
+		byClass := accuracyByClassScan(truth, reports, bucket, radiusM, lo, hi, classify)
 		for class, res := range byClass {
 			if res.Buckets >= minBuckets {
 				out[class] = append(out[class], res.Pct())

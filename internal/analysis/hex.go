@@ -71,13 +71,26 @@ func DistinctCells(visits []HexVisit) []hexgrid.Cell {
 // CellAccuracy computes a per-visited-cell accuracy: for each cell, buckets
 // covering its visits are tallied with the usual hit/miss rule. This is
 // the per-hexagon sample population behind Figure 7's CDFs.
+//
+// One-shot convenience over NewIndex(truth, reports).CellAccuracy: the
+// crawl log is deduped and truth-resolved once and shared by every visit
+// (the scan reference re-derived both per visit).
 func CellAccuracy(truth *TruthIndex, reports []trace.CrawlRecord, visits []HexVisit, bucket time.Duration, radiusM float64) map[hexgrid.Cell]float64 {
+	if !IndexedAnalysis() {
+		return cellAccuracyScan(truth, reports, visits, bucket, radiusM)
+	}
+	return NewIndex(truth, reports).CellAccuracy(visits, bucket, radiusM)
+}
+
+// cellAccuracyScan is the pre-index reference implementation of
+// CellAccuracy (one full accuracy scan per visit).
+func cellAccuracyScan(truth *TruthIndex, reports []trace.CrawlRecord, visits []HexVisit, bucket time.Duration, radiusM float64) map[hexgrid.Cell]float64 {
 	if bucket <= 0 {
 		bucket = time.Hour
 	}
 	perCell := make(map[hexgrid.Cell]*AccuracyResult)
 	for _, v := range visits {
-		res := Accuracy(truth, reports, bucket, radiusM, v.Enter, v.Leave.Add(bucket))
+		res := accuracyScan(truth, reports, bucket, radiusM, v.Enter, v.Leave.Add(bucket))
 		acc, ok := perCell[v.Cell]
 		if !ok {
 			acc = &AccuracyResult{}

@@ -103,27 +103,22 @@ func (c *Crawler) NowCount() int {
 	return n
 }
 
-// DistinctReports collapses consecutive crawl records that observed the
-// same underlying report (same tag, same displayed position) into one
-// record each, reconstructing the fine-grained location history the
-// paper's crawlers build.
+// DistinctReports collapses repeated crawl records that observed the
+// same underlying report (same tag, same displayed position, report
+// times within 90 s) into one record each, reconstructing the
+// fine-grained location history the paper's crawlers build. It is
+// trace.DistinctReports, the dedup shared with the analysis plane's
+// accuracy bucketing.
+//
+// Note one deliberate semantic refinement over the pre-unification
+// implementation, which only compared against the tag's single last
+// kept record: the shared dedup remembers the last kept record per
+// (tag, position), so a report re-observed within 90 s still collapses
+// even when an observation of a different position was crawled in
+// between (e.g. two reporting devices alternating in the app view).
+// That matches the analysis plane's definition of "the same underlying
+// report" and is pinned by the interleaving cases in
+// internal/trace/distinct_test.go.
 func DistinctReports(records []trace.CrawlRecord) []trace.CrawlRecord {
-	var out []trace.CrawlRecord
-	lastByTag := make(map[string]trace.CrawlRecord)
-	for _, r := range records {
-		prev, seen := lastByTag[r.TagID]
-		if seen && prev.Pos == r.Pos && absDuration(prev.ReportedAt.Sub(r.ReportedAt)) <= 90*time.Second {
-			continue // same report observed again a minute later
-		}
-		lastByTag[r.TagID] = r
-		out = append(out, r)
-	}
-	return out
-}
-
-func absDuration(d time.Duration) time.Duration {
-	if d < 0 {
-		return -d
-	}
-	return d
+	return trace.DistinctReports(records)
 }

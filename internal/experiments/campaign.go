@@ -65,7 +65,12 @@ type Campaign struct {
 	RemovedFrac float64
 	// Filtered crawl records per vendor (incl. VendorCombined).
 	filteredCrawls map[trace.Vendor][]trace.CrawlRecord
-	From, To       time.Time
+	// One columnar analysis index per vendor over (Truth, filtered
+	// crawls): the crawl log is deduped and truth-resolved exactly once,
+	// then every figure's (bucket, radius, window, classifier) sweep
+	// point merges against it.
+	indexes  map[trace.Vendor]*analysis.Index
+	From, To time.Time
 }
 
 // NewCampaign runs the campaign and prepares the shared analysis state.
@@ -97,13 +102,20 @@ func newCampaignFromResult(opts Options, res *scenario.WildResult) *Campaign {
 		RemovedFrac:    removed,
 		filteredCrawls: make(map[trace.Vendor][]trace.CrawlRecord),
 	}
-	// The per-vendor home filters are independent passes over disjoint
-	// outputs; fan them out on the same worker knob.
-	filtered := runner.Map(opts.Workers, len(Vendors), func(i int) []trace.CrawlRecord {
-		return analysis.FilterCrawlsNearHomes(merged.CrawlsFor(Vendors[i]), homes, 300)
+	// The per-vendor home filter + index builds are independent passes
+	// over disjoint outputs; fan them out on the same worker knob.
+	type vendorPlane struct {
+		crawls []trace.CrawlRecord
+		index  *analysis.Index
+	}
+	planes := runner.Map(opts.Workers, len(Vendors), func(i int) vendorPlane {
+		crawls := analysis.FilterCrawlsNearHomes(merged.CrawlsFor(Vendors[i]), homes, 300)
+		return vendorPlane{crawls: crawls, index: analysis.NewIndex(c.Truth, crawls)}
 	})
+	c.indexes = make(map[trace.Vendor]*analysis.Index, len(Vendors))
 	for i, v := range Vendors {
-		c.filteredCrawls[v] = filtered[i]
+		c.filteredCrawls[v] = planes[i].crawls
+		c.indexes[v] = planes[i].index
 	}
 	c.From, c.To = res.Span()
 	return c
@@ -112,6 +124,31 @@ func newCampaignFromResult(opts Options, res *scenario.WildResult) *Campaign {
 // Crawls returns the home-filtered crawl records for a vendor (including
 // the synthesized combined ecosystem).
 func (c *Campaign) Crawls(v trace.Vendor) []trace.CrawlRecord { return c.filteredCrawls[v] }
+
+// Index returns the cached analysis index over a vendor's home-filtered
+// crawl log. Indexes are immutable and safe to share across the figure
+// computations fanning out on the worker pool.
+func (c *Campaign) Index(v trace.Vendor) *analysis.Index { return c.indexes[v] }
+
+// accuracy evaluates one accuracy point for a vendor over the cached
+// index — or over the raw crawl log when the index-backed pipeline is
+// disabled (analysis.SetIndexedAnalysis), which reproduces the historical
+// per-figure rescan byte for byte.
+func (c *Campaign) accuracy(v trace.Vendor, bucket time.Duration, radiusM float64, from, to time.Time) analysis.AccuracyResult {
+	if !analysis.IndexedAnalysis() {
+		return analysis.Accuracy(c.Truth, c.Crawls(v), bucket, radiusM, from, to)
+	}
+	return c.Index(v).Accuracy(bucket, radiusM, from, to)
+}
+
+// dailyAccuracyByClass is the classified-daily counterpart of accuracy,
+// honoring the same escape hatch.
+func (c *Campaign) dailyAccuracyByClass(v trace.Vendor, bucket time.Duration, radiusM float64, classify analysis.BucketClassifier, minBuckets int) map[string][]float64 {
+	if !analysis.IndexedAnalysis() {
+		return analysis.DailyAccuracyByClass(c.Truth, c.Crawls(v), bucket, radiusM, c.From, c.To, classify, minBuckets)
+	}
+	return c.Index(v).DailyAccuracyByClass(bucket, radiusM, c.From, c.To, classify, minBuckets)
+}
 
 // Vendors lists the three analysis ecosystems in figure order.
 var Vendors = []trace.Vendor{trace.VendorApple, trace.VendorSamsung, trace.VendorCombined}

@@ -10,6 +10,7 @@ import (
 	"tagsim/internal/geo"
 	"tagsim/internal/hexgrid"
 	"tagsim/internal/population"
+	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
 	"tagsim/internal/stats"
 	"tagsim/internal/trace"
@@ -137,31 +138,50 @@ type Figure7Result struct {
 }
 
 // Figure7 joins per-hexagon accuracy with the density rasters across all
-// countries.
+// countries. The countries are independent worlds and fan out across the
+// worker pool; within one country the ground-truth filtering, truth
+// index, and hexagon visits are computed once and shared by all three
+// ecosystems (the per-vendor crawl logs still differ), and each
+// (country, vendor) pair merges against its own one-shot analysis index.
+// Results are pooled in deterministic vendor-major, country-minor,
+// cell-sorted order.
 func Figure7(c *Campaign) *Figure7Result {
 	const radius = 100.0
 	window := time.Hour
 	res := &Figure7Result{}
-	for _, vendor := range Vendors {
+	// classified is one density-classified accuracy sample.
+	type classified struct {
+		cls population.DensityClass
+		pct float64
+	}
+	perCountry := runner.Map(c.Options.Workers, len(c.Result.Countries), func(i int) [][]classified {
+		cr := &c.Result.Countries[i]
+		kept, _ := analysis.FilterNearHomes(cr.Dataset.GroundTruth, cr.Homes, 300)
+		truth := analysis.NewTruthIndex(kept)
+		visits := analysis.HexVisits(kept, 8, 5*time.Minute, 5*time.Minute)
+		cells := analysis.DistinctCells(visits)
+		out := make([][]classified, len(Vendors))
+		for vi, vendor := range Vendors {
+			reports := analysis.FilterCrawlsNearHomes(cr.Dataset.CrawlsFor(vendor), cr.Homes, 300)
+			acc := analysis.CellAccuracy(truth, reports, visits, window, radius)
+			for _, cell := range cells {
+				pct, ok := acc[cell]
+				if !ok {
+					continue
+				}
+				cls := population.Classify(cr.Population.DensityOfCell(cell))
+				out[vi] = append(out[vi], classified{cls: cls, pct: pct})
+			}
+		}
+		return out
+	})
+	for vi := range Vendors {
+		vendor := Vendors[vi]
 		// Per-class accuracy samples pooled across countries.
 		samples := map[population.DensityClass][]float64{}
-		for i := range c.Result.Countries {
-			cr := &c.Result.Countries[i]
-			gt := cr.Dataset.GroundTruth
-			kept, _ := analysis.FilterNearHomes(gt, cr.Homes, 300)
-			truth := analysis.NewTruthIndex(kept)
-			visits := analysis.HexVisits(kept, 8, 5*time.Minute, 5*time.Minute)
-			var reports []trace.CrawlRecord
-			if vendor == trace.VendorCombined {
-				reports = cr.Dataset.CrawlsFor(trace.VendorCombined)
-			} else {
-				reports = cr.Dataset.CrawlsFor(vendor)
-			}
-			reports = analysis.FilterCrawlsNearHomes(reports, cr.Homes, 300)
-			acc := analysis.CellAccuracy(truth, reports, visits, window, radius)
-			for cell, pct := range acc {
-				cls := population.Classify(cr.Population.DensityOfCell(cell))
-				samples[cls] = append(samples[cls], pct)
+		for ci := range perCountry {
+			for _, s := range perCountry[ci][vi] {
+				samples[s.cls] = append(samples[s.cls], s.pct)
 			}
 		}
 		for _, cls := range []population.DensityClass{population.DensityLow, population.DensityMedium, population.DensityHigh} {

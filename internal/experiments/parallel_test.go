@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"tagsim/internal/analysis"
 	"tagsim/internal/trace"
 )
 
@@ -31,8 +32,54 @@ func TestCampaignParallelDeterminism(t *testing.T) {
 			t.Errorf("Figure 5 (%.0f m) rendering diverged across worker counts:\nworkers=8:\n%s\nworkers=1:\n%s", radius, got, want)
 		}
 	}
+	if got, want := Figure5d(par).Render(), Figure5d(seq).Render(); got != want {
+		t.Errorf("Figure 5d rendering diverged across worker counts:\nworkers=8:\n%s\nworkers=1:\n%s", got, want)
+	}
+	if got, want := Figure7(par).Render(), Figure7(seq).Render(); got != want {
+		t.Errorf("Figure 7 rendering diverged across worker counts:\nworkers=8:\n%s\nworkers=1:\n%s", got, want)
+	}
+	if got, want := Figure8(par).Render(), Figure8(seq).Render(); got != want {
+		t.Errorf("Figure 8 rendering diverged across worker counts:\nworkers=8:\n%s\nworkers=1:\n%s", got, want)
+	}
 	if got, want := Headline(par).Render(), Headline(seq).Render(); got != want {
 		t.Errorf("Headline rendering diverged across worker counts:\nworkers=8:\n%s\nworkers=1:\n%s", got, want)
+	}
+}
+
+// renderWildFigures renders every wild-campaign artifact the paper's
+// evaluation reproduces (Table 1, Figures 5a-f, 6, 7, 8, headline) into
+// one string.
+func renderWildFigures(c *Campaign) string {
+	var b strings.Builder
+	b.WriteString(Table1(c).Render())
+	for _, radius := range []float64{10, 25, 100} {
+		b.WriteString(Figure5Sweep(c, radius).Render())
+	}
+	b.WriteString(Figure5d(c).Render())
+	b.WriteString(Figure5e(c).Render())
+	b.WriteString(Figure5f(c).Render())
+	b.WriteString(Figure6(c, "AE").Render())
+	b.WriteString(Figure7(c).Render())
+	b.WriteString(Figure8(c).Render())
+	b.WriteString(Headline(c).Render())
+	return b.String()
+}
+
+// TestFigurePipelineIndexEquivalence is the PR's acceptance gate: every
+// reproduced table and figure must render byte-identically whether the
+// analysis plane runs the one-time columnar index or the historical
+// per-figure rescans (analysis.SetIndexedAnalysis escape hatch).
+func TestFigurePipelineIndexEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments are slow")
+	}
+	c := NewCampaign(tinyOpts(47, 0))
+	indexed := renderWildFigures(c)
+	was := analysis.SetIndexedAnalysis(false)
+	defer analysis.SetIndexedAnalysis(was)
+	legacy := renderWildFigures(c)
+	if indexed != legacy {
+		t.Errorf("figure pipeline diverged between indexed and scan analysis:\nindexed:\n%s\nscan:\n%s", indexed, legacy)
 	}
 }
 

@@ -134,22 +134,28 @@ type Figure5ReplicatePoint struct {
 type Figure5Replicates struct {
 	RadiusM float64
 	Points  []Figure5ReplicatePoint
+	// acc backs Acc with O(1) lookups (Render queries every table cell).
+	acc map[sweepKey]ReplicateStat
 }
 
 // Figure5Stats aggregates the accuracy-vs-responsiveness sweep at one
-// radius over all replicates.
+// radius over all replicates. Each replicate's sweep reads its
+// campaign's cached per-vendor analysis indexes, so the whole aggregate
+// never rescans a crawl log.
 func (s *ReplicateSet) Figure5Stats(radiusM float64) *Figure5Replicates {
 	sweeps := runner.Map(s.Options.Workers, len(s.Campaigns), func(i int) *Figure5SweepResult {
 		return Figure5Sweep(s.Campaigns[i], radiusM)
 	})
-	res := &Figure5Replicates{RadiusM: radiusM}
+	res := &Figure5Replicates{RadiusM: radiusM, acc: make(map[sweepKey]ReplicateStat, len(Vendors)*len(SweepMinutes))}
 	for _, v := range Vendors {
 		for _, m := range SweepMinutes {
 			samples := make([]float64, len(sweeps))
 			for i, sw := range sweeps {
 				samples[i] = sw.Acc(v, m)
 			}
-			res.Points = append(res.Points, Figure5ReplicatePoint{Vendor: v, Minutes: m, Acc: newReplicateStat(samples)})
+			pt := Figure5ReplicatePoint{Vendor: v, Minutes: m, Acc: newReplicateStat(samples)}
+			res.Points = append(res.Points, pt)
+			res.acc[sweepKey{v, m}] = pt.Acc
 		}
 	}
 	return res
@@ -157,6 +163,13 @@ func (s *ReplicateSet) Figure5Stats(radiusM float64) *Figure5Replicates {
 
 // Acc returns the aggregate for a vendor/minutes pair.
 func (r *Figure5Replicates) Acc(v trace.Vendor, minutes int) ReplicateStat {
+	if r.acc != nil {
+		if a, ok := r.acc[sweepKey{v, minutes}]; ok {
+			return a
+		}
+		return ReplicateStat{Mean: nan(), Std: nan()}
+	}
+	// Hand-assembled results have no map; fall back to scanning Points.
 	for _, p := range r.Points {
 		if p.Vendor == v && p.Minutes == minutes {
 			return p.Acc

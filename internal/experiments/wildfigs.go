@@ -10,6 +10,7 @@ import (
 
 	"tagsim/internal/analysis"
 	"tagsim/internal/mobility"
+	"tagsim/internal/runner"
 	"tagsim/internal/stats"
 	"tagsim/internal/trace"
 )
@@ -87,27 +88,50 @@ type Figure5SweepPoint struct {
 type Figure5SweepResult struct {
 	RadiusM float64
 	Points  []Figure5SweepPoint
+	// acc backs Acc with O(1) lookups; Render calls Acc once per table
+	// cell, so a linear scan over Points there would make rendering
+	// quadratic in the sweep size.
+	acc map[sweepKey]float64
+}
+
+type sweepKey struct {
+	vendor  trace.Vendor
+	minutes int
 }
 
 // SweepMinutes are the responsiveness values swept in Figures 5a-c.
 var SweepMinutes = []int{1, 5, 10, 15, 20, 25, 30, 45, 60, 90, 120}
 
 // Figure5Sweep computes accuracy vs responsiveness at a radius for all
-// three ecosystems (Figures 5a: 10 m, 5b: 25 m, 5c: 100 m).
+// three ecosystems (Figures 5a: 10 m, 5b: 25 m, 5c: 100 m). The sweep
+// points are independent reads of the campaign's cached per-vendor
+// indexes and fan out across the worker pool; the result is identical
+// for any worker count.
 func Figure5Sweep(c *Campaign, radiusM float64) *Figure5SweepResult {
 	res := &Figure5SweepResult{RadiusM: radiusM}
-	for _, v := range Vendors {
-		reports := c.Crawls(v)
-		for _, m := range SweepMinutes {
-			acc := analysis.Accuracy(c.Truth, reports, time.Duration(m)*time.Minute, radiusM, c.From, c.To)
-			res.Points = append(res.Points, Figure5SweepPoint{Vendor: v, Minutes: m, Acc: acc.Pct()})
-		}
+	n := len(Vendors) * len(SweepMinutes)
+	pts := runner.Map(c.Options.Workers, n, func(i int) Figure5SweepPoint {
+		v, m := Vendors[i/len(SweepMinutes)], SweepMinutes[i%len(SweepMinutes)]
+		acc := c.accuracy(v, time.Duration(m)*time.Minute, radiusM, c.From, c.To)
+		return Figure5SweepPoint{Vendor: v, Minutes: m, Acc: acc.Pct()}
+	})
+	res.Points = pts
+	res.acc = make(map[sweepKey]float64, n)
+	for _, p := range pts {
+		res.acc[sweepKey{p.Vendor, p.Minutes}] = p.Acc
 	}
 	return res
 }
 
 // Acc returns the accuracy for a vendor/minutes pair, or NaN.
 func (r *Figure5SweepResult) Acc(v trace.Vendor, minutes int) float64 {
+	if r.acc != nil {
+		if a, ok := r.acc[sweepKey{v, minutes}]; ok {
+			return a
+		}
+		return nan()
+	}
+	// Hand-assembled results have no map; fall back to scanning Points.
 	for _, p := range r.Points {
 		if p.Vendor == v && p.Minutes == minutes {
 			return p.Acc
@@ -155,16 +179,26 @@ type Figure5ClassResult struct {
 	Tests   []PairTest
 }
 
+// classPanelRadii are the paper's three accuracy radii, evaluated by
+// every Figure 5d-f panel.
+var classPanelRadii = []float64{10, 25, 100}
+
 // classPanel computes per-class accuracy bars (10-minute buckets, radii
 // 10/25/100 m) and Welch t-tests between adjacent classes on the daily
-// 25 m samples, mirroring the paper's Figure 5d-f methodology.
+// 25 m samples, mirroring the paper's Figure 5d-f methodology. The three
+// radii are independent merges over the combined ecosystem's cached
+// index and fan out across the worker pool; classifiers must therefore
+// be safe for concurrent read-only use (the built-in ones are pure
+// functions over the immutable TruthIndex).
 func classPanel(c *Campaign, title string, classes []string, classify analysis.BucketClassifier) *Figure5ClassResult {
 	res := &Figure5ClassResult{Title: title, Classes: classes}
 	const bucket = 10 * time.Minute
-	reports := c.Crawls(trace.VendorCombined)
+	perRadius := runner.Map(c.Options.Workers, len(classPanelRadii), func(i int) map[string][]float64 {
+		return c.dailyAccuracyByClass(trace.VendorCombined, bucket, classPanelRadii[i], classify, 2)
+	})
 	daily := map[float64]map[string][]float64{}
-	for _, radius := range []float64{10, 25, 100} {
-		daily[radius] = analysis.DailyAccuracyByClass(c.Truth, reports, bucket, radius, c.From, c.To, classify, 2)
+	for i, radius := range classPanelRadii {
+		daily[radius] = perRadius[i]
 		for _, class := range classes {
 			samples := daily[radius][class]
 			bar := ClassAccuracy{Class: class, RadiusM: radius, Days: len(samples)}
@@ -254,7 +288,10 @@ type Figure8Result struct {
 	Acc map[time.Duration]map[float64]float64
 }
 
-// Figure8 sweeps radius x window over the combined ecosystem.
+// Figure8 sweeps radius x window over the combined ecosystem. Every
+// (window, radius) cell is an independent merge over the combined
+// index; the grid fans out across the worker pool and is reassembled in
+// figure order.
 func Figure8(c *Campaign) *Figure8Result {
 	res := &Figure8Result{
 		Acc: make(map[time.Duration]map[float64]float64),
@@ -265,12 +302,14 @@ func Figure8(c *Campaign) *Figure8Result {
 	for _, m := range []int{1, 10, 30, 60, 120, 180} {
 		res.Windows = append(res.Windows, time.Duration(m)*time.Minute)
 	}
-	reports := c.Crawls(trace.VendorCombined)
-	for _, w := range res.Windows {
-		res.Acc[w] = make(map[float64]float64)
-		for _, radius := range res.Radii {
-			acc := analysis.Accuracy(c.Truth, reports, w, radius, c.From, c.To)
-			res.Acc[w][radius] = acc.Pct()
+	cells := runner.Map(c.Options.Workers, len(res.Windows)*len(res.Radii), func(i int) float64 {
+		w, radius := res.Windows[i/len(res.Radii)], res.Radii[i%len(res.Radii)]
+		return c.accuracy(trace.VendorCombined, w, radius, c.From, c.To).Pct()
+	})
+	for wi, w := range res.Windows {
+		res.Acc[w] = make(map[float64]float64, len(res.Radii))
+		for ri, radius := range res.Radii {
+			res.Acc[w][radius] = cells[wi*len(res.Radii)+ri]
 		}
 	}
 	return res
@@ -315,7 +354,7 @@ type HeadlineResult struct {
 func Headline(c *Campaign) *HeadlineResult {
 	res := &HeadlineResult{HomeFilteredFrac: c.RemovedFrac}
 	combined := c.Crawls(trace.VendorCombined)
-	res.Acc10Min100M = analysis.Accuracy(c.Truth, combined, 10*time.Minute, 100, c.From, c.To).Pct()
+	res.Acc10Min100M = c.accuracy(trace.VendorCombined, 10*time.Minute, 100, c.From, c.To).Pct()
 
 	// Backtracking: place episodes (>=5 min within 25 m), first accurate
 	// (10 m) report within one hour.

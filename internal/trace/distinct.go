@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// distinctReportWindow is how close two reconstructed report times must be
+// for two crawl observations of the same tag at the same displayed
+// position to count as the same underlying report. The crawlers poll once
+// a minute and the "X minutes ago" label is floored to whole minutes, so
+// one report is typically observed several times with up to a minute of
+// reconstruction jitter on each observation.
+const distinctReportWindow = 90 * time.Second
+
+// DistinctReports collapses repeated crawl observations of the same
+// underlying report into one record each: a record is dropped when the
+// last kept record of the same tag at the same displayed position has a
+// reconstructed report time within 90 seconds. Input order is preserved
+// and the input slice is untouched.
+//
+// This is the single dedup shared by the analysis plane (accuracy
+// bucketing over crawl logs) and the crawler's fine-grained location
+// history (cmd/tagserve's trace-backed ingest).
+func DistinctReports(records []CrawlRecord) []CrawlRecord {
+	type key struct {
+		tag string
+		lat float64
+		lon float64
+	}
+	var out []CrawlRecord
+	last := make(map[key]time.Time, len(records))
+	for _, r := range records {
+		k := key{r.TagID, r.Pos.Lat, r.Pos.Lon}
+		if prev, ok := last[k]; ok && absDuration(prev.Sub(r.ReportedAt)) <= distinctReportWindow {
+			continue
+		}
+		last[k] = r.ReportedAt
+		out = append(out, r)
+	}
+	return out
+}
+
+// SortByReportTime sorts crawl records in place by reconstructed report
+// time under a total order: ReportedAt, then TagID, then displayed
+// position, then crawl time. The tie-break makes the order deterministic
+// for same-instant reports regardless of input permutation — a plain
+// non-stable sort on ReportedAt alone could reorder equal-time records
+// between runs.
+func SortByReportTime(records []CrawlRecord) {
+	sort.SliceStable(records, func(i, j int) bool {
+		a, b := &records[i], &records[j]
+		if !a.ReportedAt.Equal(b.ReportedAt) {
+			return a.ReportedAt.Before(b.ReportedAt)
+		}
+		if a.TagID != b.TagID {
+			return a.TagID < b.TagID
+		}
+		if a.Pos.Lat != b.Pos.Lat {
+			return a.Pos.Lat < b.Pos.Lat
+		}
+		if a.Pos.Lon != b.Pos.Lon {
+			return a.Pos.Lon < b.Pos.Lon
+		}
+		return a.CrawlT.Before(b.CrawlT)
+	})
+}
+
+func absDuration(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+)
+
+var distinctT0 = time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+
+func obs(tag string, pos geo.LatLon, reportedAt time.Time) CrawlRecord {
+	return CrawlRecord{
+		CrawlT:     reportedAt.Add(time.Minute),
+		TagID:      tag,
+		Vendor:     VendorApple,
+		Pos:        pos,
+		ReportedAt: reportedAt,
+	}
+}
+
+func TestDistinctReportsCollapsesRepeatObservations(t *testing.T) {
+	pos := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	r1 := obs("tag", pos, distinctT0)
+	// The same report observed by the next two crawls: same position,
+	// reconstructed time off by up to a minute of OCR quantization.
+	r2 := obs("tag", pos, distinctT0.Add(30*time.Second))
+	r3 := obs("tag", pos, distinctT0)
+	// A genuinely new report from the same place half an hour later.
+	r4 := obs("tag", pos, distinctT0.Add(30*time.Minute))
+	out := DistinctReports([]CrawlRecord{r1, r2, r3, r4})
+	if len(out) != 2 {
+		t.Fatalf("kept %d records, want 2", len(out))
+	}
+	if !out[0].ReportedAt.Equal(r1.ReportedAt) || !out[1].ReportedAt.Equal(r4.ReportedAt) {
+		t.Errorf("kept wrong records: %+v", out)
+	}
+}
+
+func TestDistinctReportsKeysByTagAndPosition(t *testing.T) {
+	posA := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	posB := geo.LatLon{Lat: 24.46, Lon: 54.39}
+	recs := []CrawlRecord{
+		obs("tag", posA, distinctT0),
+		// Different displayed position: a different report even though the
+		// reconstructed times are close.
+		obs("tag", posB, distinctT0.Add(10*time.Second)),
+		// Different tag at the same position: also distinct.
+		obs("other", posA, distinctT0.Add(20*time.Second)),
+	}
+	if out := DistinctReports(recs); len(out) != 3 {
+		t.Fatalf("kept %d records, want 3: %+v", len(out), out)
+	}
+}
+
+// TestDistinctReportsCollapsesAcrossInterleavedPositions pins the
+// unified semantics the crawler adopted: a report re-observed within
+// 90 s collapses even when an observation of a different position was
+// crawled in between (the pre-unification crawler dedup only compared
+// against the tag's single last kept record and would have kept all
+// three).
+func TestDistinctReportsCollapsesAcrossInterleavedPositions(t *testing.T) {
+	posA := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	posB := geo.LatLon{Lat: 24.46, Lon: 54.39}
+	recs := []CrawlRecord{
+		obs("tag", posA, distinctT0),
+		obs("tag", posB, distinctT0.Add(30*time.Second)),
+		// The posA report resurfaces within 90 s of its first observation:
+		// same underlying report, collapsed.
+		obs("tag", posA, distinctT0.Add(60*time.Second)),
+	}
+	out := DistinctReports(recs)
+	if len(out) != 2 {
+		t.Fatalf("kept %d records, want 2 (interleaved re-observation must collapse)", len(out))
+	}
+	if out[0].Pos != posA || out[1].Pos != posB {
+		t.Errorf("kept wrong records: %+v", out)
+	}
+}
+
+func TestDistinctReportsWindowBoundary(t *testing.T) {
+	pos := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	in90 := DistinctReports([]CrawlRecord{
+		obs("tag", pos, distinctT0),
+		obs("tag", pos, distinctT0.Add(90*time.Second)),
+	})
+	if len(in90) != 1 {
+		t.Errorf("90 s apart must collapse, kept %d", len(in90))
+	}
+	out90 := DistinctReports([]CrawlRecord{
+		obs("tag", pos, distinctT0),
+		obs("tag", pos, distinctT0.Add(91*time.Second)),
+	})
+	if len(out90) != 2 {
+		t.Errorf("91 s apart must stay distinct, kept %d", len(out90))
+	}
+}
+
+func TestDistinctReportsComparesAgainstLastKept(t *testing.T) {
+	pos := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	// Each observation is within 90 s of the previous one but the third
+	// drifts beyond 90 s of the first KEPT record; the dedup compares
+	// against the kept record, not the last observation, so a slowly
+	// drifting chain cannot swallow a genuinely newer report.
+	recs := []CrawlRecord{
+		obs("tag", pos, distinctT0),
+		obs("tag", pos, distinctT0.Add(60*time.Second)),
+		obs("tag", pos, distinctT0.Add(120*time.Second)),
+	}
+	out := DistinctReports(recs)
+	if len(out) != 2 {
+		t.Fatalf("kept %d records, want 2 (first and the >90 s drifted one)", len(out))
+	}
+}
+
+func TestDistinctReportsPreservesInputAndOrder(t *testing.T) {
+	pos := geo.LatLon{Lat: 24.45, Lon: 54.38}
+	in := []CrawlRecord{
+		obs("b", pos, distinctT0.Add(time.Hour)),
+		obs("a", pos, distinctT0),
+	}
+	cp := append([]CrawlRecord(nil), in...)
+	out := DistinctReports(in)
+	if !reflect.DeepEqual(in, cp) {
+		t.Error("input slice was modified")
+	}
+	if len(out) != 2 || out[0].TagID != "b" || out[1].TagID != "a" {
+		t.Errorf("input order not preserved: %+v", out)
+	}
+}
+
+// TestSortByReportTimeDeterministic is the regression test for the
+// non-stable sort.Slice the analysis dedup used to rely on: records with
+// equal ReportedAt could reorder between runs. The replacement imposes a
+// total order, so any permutation of the same records must sort
+// identically.
+func TestSortByReportTimeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var recs []CrawlRecord
+	for i := 0; i < 40; i++ {
+		// Many records share the exact same ReportedAt; tag, position, and
+		// crawl time provide the tie-break.
+		r := obs("tag", geo.LatLon{Lat: float64(i % 5), Lon: float64(i % 7)}, distinctT0.Add(time.Duration(i%3)*time.Hour))
+		r.TagID = string(rune('a' + i%4))
+		r.CrawlT = r.ReportedAt.Add(time.Duration(i%6) * time.Minute)
+		recs = append(recs, r)
+	}
+	sorted := append([]CrawlRecord(nil), recs...)
+	SortByReportTime(sorted)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]CrawlRecord(nil), recs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		SortByReportTime(shuffled)
+		if !reflect.DeepEqual(shuffled, sorted) {
+			t.Fatalf("trial %d: sort order depends on input permutation", trial)
+		}
+	}
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].ReportedAt.Before(sorted[i-1].ReportedAt) {
+			t.Fatalf("not sorted by ReportedAt at %d", i)
+		}
+	}
+}

@@ -168,6 +168,11 @@ type (
 	TruthIndex = analysis.TruthIndex
 	// AccuracyResult is a hit/miss tally.
 	AccuracyResult = analysis.AccuracyResult
+	// AnalysisIndex is the one-time columnar index over (truth, distinct
+	// crawl records) that every accuracy metric merges against.
+	AnalysisIndex = analysis.Index
+	// BucketClassifier assigns accuracy buckets to classes (Figures 5d-f).
+	BucketClassifier = analysis.BucketClassifier
 )
 
 // Analysis entry points.
@@ -176,8 +181,34 @@ var (
 	NewDataset = analysis.NewDataset
 	// NewTruthIndex indexes ground-truth fixes.
 	NewTruthIndex = analysis.NewTruthIndex
+	// NewAnalysisIndex dedups and indexes a crawl log against ground
+	// truth; build it once when evaluating many (bucket, radius, window)
+	// combinations over the same data.
+	NewAnalysisIndex = analysis.NewIndex
 	// Accuracy computes the paper's bucketed hit/miss accuracy.
 	Accuracy = analysis.Accuracy
+	// DailyAccuracy computes one accuracy sample per UTC day.
+	DailyAccuracy = analysis.DailyAccuracy
+	// AccuracyByClass tallies accuracy per classifier class.
+	AccuracyByClass = analysis.AccuracyByClass
+	// DailyAccuracyByClass produces per-day samples per class (the
+	// t-test inputs behind Figures 5d-f).
+	DailyAccuracyByClass = analysis.DailyAccuracyByClass
+	// SpeedClassifier/PeriodClassifier/WeekPartClassifier are the
+	// paper's bucket stratifications (mobility, day period, week part).
+	SpeedClassifier    = analysis.SpeedClassifier
+	PeriodClassifier   = analysis.PeriodClassifier
+	WeekPartClassifier = analysis.WeekPartClassifier
+	// SetIndexedAnalysis toggles the index-backed analysis plane
+	// (testing/benchmark escape hatch mirroring device.SetGridIndexing);
+	// disabled, the exported metrics run the historical per-call scans.
+	SetIndexedAnalysis = analysis.SetIndexedAnalysis
+	// DistinctReports collapses repeated crawl observations of one
+	// underlying report (shared by the analysis plane and the crawler).
+	DistinctReports = trace.DistinctReports
+	// SortCrawlByReportTime sorts crawl records by reconstructed report
+	// time under a deterministic total order.
+	SortCrawlByReportTime = trace.SortByReportTime
 	// DetectHomes finds overnight locations for the home filter.
 	DetectHomes = analysis.DetectHomes
 	// FilterNearHomes applies the 300 m home filter.
@@ -189,6 +220,9 @@ var (
 	// BacktrackFraction summarizes backtrackable movement share.
 	BacktrackFraction = analysis.BacktrackFraction
 )
+
+// SweepMinutes are the responsiveness values swept in Figures 5a-c.
+var SweepMinutes = experiments.SweepMinutes
 
 // Statistics helpers used across the analyses.
 var (
@@ -343,6 +377,19 @@ func ReproduceAll(w io.Writer, opts CampaignOptions) error {
 		return err
 	}
 	c := NewCampaign(opts)
+	// The 2 only asks "does this knob yield more than one worker?" — the
+	// actual job count is len(figures) below, which cannot change the
+	// answer (Workers clamps to n, and n >= 2 either way).
+	if runner.Workers(opts.Workers, 2) > 1 {
+		// The figure batch below is itself a parallel fan-out, and each
+		// figure now also fans its panels/sweep points out internally; run
+		// the per-figure analysis sequentially inside the already-parallel
+		// jobs so the Workers cap on concurrent computations holds (the
+		// same pattern CampaignReplicates uses for its campaigns).
+		seq := *c
+		seq.Options.Workers = 1
+		c = &seq
+	}
 	figures := []func() string{
 		func() string { return Table1(c).Render() },
 		func() string { return Figure5Sweep(c, 10).Render() },
