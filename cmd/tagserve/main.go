@@ -1,37 +1,50 @@
 // Command tagserve stands up the serving subsystem: it populates the
-// sharded report stores — by running an in-the-wild campaign or by
-// loading cmd/tagsim trace dumps — and exposes the vendor query API the
-// paper's crawlers reverse-engineered (/v1/lastknown, /v1/history,
-// /v1/track, /v1/stats, plus POST /v1/report for live ingest).
+// sharded report stores — by running an in-the-wild campaign, by
+// loading cmd/tagsim trace dumps, or by streaming a live campaign —
+// and exposes the vendor query API the paper's crawlers
+// reverse-engineered (/v1/lastknown, /v1/history, /v1/track, /v1/stats,
+// plus POST /v1/report for live ingest).
 //
 // By default it then turns the load harness on itself — a closed-loop,
 // Zipf-skewed query stream over real HTTP against an in-process
 // listener — and prints the throughput / latency-quantile report. With
-// -addr it keeps serving until killed.
+// -live the campaign streams into the serving stores through the
+// campaign pipeline while the load harness queries them concurrently —
+// reads race real ingest instead of a frozen snapshot. With -addr it
+// keeps serving until SIGINT/SIGTERM, then shuts down gracefully:
+// in-flight requests (including POST ingests) drain before the final
+// stats snapshot prints.
 //
 // Usage:
 //
 //	tagserve [-seed N] [-scale F] [-workers N] [-devices N]   # simulate…
 //	tagserve -traces DIR                                      # …or load dumps
+//	tagserve -live                                            # …or stream live
 //	         [-shards N] [-history-limit N]
 //	         [-load N] [-requests N] [-direct]
 //	         [-addr :8080]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"syscall"
+	"time"
 
 	"tagsim"
 	"tagsim/internal/cloud"
 	"tagsim/internal/crawler"
 	"tagsim/internal/load"
+	"tagsim/internal/pipeline"
 	"tagsim/internal/serve"
 	"tagsim/internal/trace"
 )
@@ -44,13 +57,24 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU)")
 	devices := flag.Int("devices", 200, "reporting devices per simulated city")
 	traces := flag.String("traces", "", "load cmd/tagsim crawl dumps from this directory instead of simulating")
+	live := flag.Bool("live", false, "stream the campaign into the serving stores while the load harness queries them")
 	shards := flag.Int("shards", 16, "store shards per vendor service")
 	historyLimit := flag.Int("history-limit", 0, "retained accepted reports per tag (0 = unbounded)")
 	loadWorkers := flag.Int("load", 8, "load-harness client workers (0 disables the self-drive report)")
 	requests := flag.Int("requests", 4000, "total load-harness requests")
 	direct := flag.Bool("direct", false, "drive the stores directly instead of over HTTP")
-	addr := flag.String("addr", "", "serve the query API on this address until killed (empty: exit after the load report)")
+	addr := flag.String("addr", "", "serve the query API on this address until SIGINT/SIGTERM (empty: exit after the load report)")
 	flag.Parse()
+
+	if *live {
+		if *traces != "" {
+			log.Fatal("-live and -traces are mutually exclusive")
+		}
+		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, *loadWorkers, *requests, *direct, *addr); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var services map[trace.Vendor]*cloud.Service
 	var err error
@@ -62,6 +86,163 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	tags := serveTags(services)
+	if len(tags) == 0 {
+		log.Fatal("no tags to serve")
+	}
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		if svc, ok := services[v]; ok {
+			log.Printf("%s", svc)
+		}
+	}
+
+	handler := serve.NewServer(services)
+	if *loadWorkers > 0 {
+		res, err := driveLoad(handler, services, tags, *seed, *loadWorkers, *requests, *direct)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(res.Render())
+	}
+	if *addr != "" {
+		if err := serveUntilSignal(*addr, handler, services); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// runLive streams an in-the-wild campaign through the pipeline into the
+// serving stores while they serve queries: the simulation's accepted
+// reports flow batch by batch into the sharded stores, the load harness
+// reads concurrently, and the report prints both planes' sustained
+// rates.
+func runLive(seed int64, scale float64, workers, devices, shards, historyLimit, loadWorkers, requests int, direct bool, addr string) error {
+	services := newServices(shards, historyLimit)
+	ingester := pipeline.NewStoreIngester(services)
+	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices}
+	jobs := tagsim.PlanWild(cfg)
+	pl := pipeline.New(len(jobs), pipeline.Config{}, ingester)
+	cfg.Stream = pl
+
+	log.Printf("live campaign (seed %d, scale %g): streaming %d country worlds into the stores...", seed, scale, len(jobs))
+	simStart := time.Now()
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		tagsim.RunWild(cfg)
+	}()
+
+	// A signal during the streaming phase still exits gracefully: the
+	// stores are consistent at every instant (ingest holds the shard
+	// locks), so print the stats snapshot as of the interrupt and stop.
+	// The -addr serve phase afterwards installs its own drain handling.
+	sigCtx, stopSig := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	streamPhaseDone := make(chan struct{})
+	go func() {
+		select {
+		case <-sigCtx.Done():
+			select {
+			case <-streamPhaseDone: // normal completion released the signals
+				return
+			default:
+			}
+			log.Printf("signal received mid-stream; stats snapshot at exit (%d reports streamed):", ingester.Ingested())
+			for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+				log.Printf("  %s", services[v])
+			}
+			os.Exit(0)
+		case <-streamPhaseDone:
+		}
+	}()
+
+	handler := serve.NewServer(services)
+	if loadWorkers > 0 {
+		tags, err := awaitTags(services, simDone)
+		if err != nil {
+			return err
+		}
+		res, err := driveLoad(handler, services, tags, seed, loadWorkers, requests, direct)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	}
+	<-simDone
+	if err := pl.Wait(); err != nil {
+		return err
+	}
+	close(streamPhaseDone)
+	stopSig()
+	elapsed := time.Since(simStart)
+	log.Printf("pipeline: %d reports streamed into the stores in %v (%.0f reports/s)",
+		ingester.Ingested(), elapsed.Round(time.Millisecond),
+		float64(ingester.Ingested())/elapsed.Seconds())
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		log.Printf("%s", services[v])
+	}
+	if addr != "" {
+		return serveUntilSignal(addr, handler, services)
+	}
+	return nil
+}
+
+// driveLoad runs the closed-loop harness against the handler (over
+// in-process HTTP, or the store surface with direct).
+func driveLoad(handler http.Handler, services map[trace.Vendor]*cloud.Service, tags []string, seed int64, workers, requests int, direct bool) (*load.Result, error) {
+	cfg := load.Config{Workers: workers, Requests: requests, Seed: seed, Tags: tags}
+	var target load.Target
+	if direct {
+		log.Printf("load: %d workers x store surface (no HTTP)", workers)
+		target = load.NewServiceTarget(services)
+	} else {
+		ts := httptest.NewServer(handler)
+		defer ts.Close()
+		log.Printf("load: %d workers over HTTP at %s", workers, ts.URL)
+		target = load.NewHTTPTarget(ts.URL)
+	}
+	return load.Run(cfg, target)
+}
+
+// serveUntilSignal serves the query API until SIGINT/SIGTERM, then
+// shuts down gracefully: the listener stops accepting, in-flight
+// requests — including POST /v1/report ingests — drain, and the final
+// per-vendor stats snapshot prints.
+func serveUntilSignal(addr string, handler http.Handler, services map[trace.Vendor]*cloud.Service) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serving the vendor query API on %s (SIGINT/SIGTERM to stop)", addr)
+		errCh <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second ^C kills hard
+	log.Printf("signal received; draining in-flight requests...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("final stats snapshot:")
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		if svc, ok := services[v]; ok {
+			log.Printf("  %s", svc)
+		}
+	}
+	return nil
+}
+
+// serveTags collects the sorted union of tag IDs across services.
+func serveTags(services map[trace.Vendor]*cloud.Service) []string {
 	var tags []string
 	seen := map[string]bool{}
 	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
@@ -69,7 +250,6 @@ func main() {
 		if !ok {
 			continue
 		}
-		log.Printf("%s", svc)
 		for _, id := range svc.TagIDs() {
 			if !seen[id] {
 				seen[id] = true
@@ -78,32 +258,34 @@ func main() {
 		}
 	}
 	sort.Strings(tags)
-	if len(tags) == 0 {
-		log.Fatal("no tags to serve")
-	}
+	return tags
+}
 
-	handler := serve.NewServer(services)
-	if *loadWorkers > 0 {
-		cfg := load.Config{Workers: *loadWorkers, Requests: *requests, Seed: *seed, Tags: tags}
-		var target load.Target
-		if *direct {
-			log.Printf("load: %d workers x store surface (no HTTP)", *loadWorkers)
-			target = load.NewServiceTarget(services)
-		} else {
-			ts := httptest.NewServer(handler)
-			defer ts.Close()
-			log.Printf("load: %d workers over HTTP at %s", *loadWorkers, ts.URL)
-			target = load.NewHTTPTarget(ts.URL)
+// awaitTags polls until the live stream has registered tags in every
+// service (registrations ride the first pipeline batches) or the
+// simulation ends, so the load harness queries the full tag universe
+// rather than whichever world flushed first.
+func awaitTags(services map[trace.Vendor]*cloud.Service, simDone <-chan struct{}) ([]string, error) {
+	everyService := func() bool {
+		for _, svc := range services {
+			if svc.NumTags() == 0 {
+				return false
+			}
 		}
-		res, err := load.Run(cfg, target)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Print(res.Render())
+		return true
 	}
-	if *addr != "" {
-		log.Printf("serving the vendor query API on %s", *addr)
-		log.Fatal(http.ListenAndServe(*addr, handler))
+	for {
+		if everyService() {
+			return serveTags(services), nil
+		}
+		select {
+		case <-simDone:
+			if tags := serveTags(services); len(tags) > 0 {
+				return tags, nil
+			}
+			return nil, fmt.Errorf("campaign finished without registering any tags")
+		case <-time.After(10 * time.Millisecond):
+		}
 	}
 }
 

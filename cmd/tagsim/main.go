@@ -9,7 +9,10 @@
 // -workers fans the wild campaign's country worlds across CPUs (0 = one
 // per CPU) without changing any output. -replicates N > 1 runs the wild
 // campaign from N derived seeds and writes each replicate's traces under
-// DIR/repNNN/.
+// DIR/repNNN/. -reportlog additionally streams every cloud-accepted
+// report to DIR/reports.col in the binary columnar format as the
+// simulation runs (see internal/pipeline; tagsim.ReadReportsColumnar
+// reads it back).
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 	"path/filepath"
 
 	"tagsim"
+	"tagsim/internal/pipeline"
 	"tagsim/internal/trace"
 )
 
@@ -32,6 +36,7 @@ func main() {
 	fleetScale := flag.Float64("fleet-scale", 1, "reporting-fleet size multiplier (residents, pedestrians, staff, neighbors, co-travelers)")
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = sequential)")
 	replicates := flag.Int("replicates", 1, "wild campaign replicates to run from derived seeds")
+	reportLog := flag.Bool("reportlog", false, "stream accepted cloud reports to DIR/reports.col (columnar) during the wild run")
 	out := flag.String("out", "traces", "output directory")
 	flag.Parse()
 
@@ -40,7 +45,7 @@ func main() {
 	}
 	switch *scenarioName {
 	case "wild":
-		runWild(*seed, *scale, *fleetScale, *workers, *replicates, *out)
+		runWild(*seed, *scale, *fleetScale, *workers, *replicates, *reportLog, *out)
 	case "cafeteria":
 		runCafeteria(*seed, *out)
 	default:
@@ -48,10 +53,33 @@ func main() {
 	}
 }
 
-func runWild(seed int64, scale, fleetScale float64, workers, replicates int, out string) {
+func runWild(seed int64, scale, fleetScale float64, workers, replicates int, reportLog bool, out string) {
 	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, FleetScale: fleetScale, Workers: workers}
+	run := func(cfg tagsim.WildConfig, dir string) *tagsim.WildResult {
+		if !reportLog {
+			return tagsim.RunWild(cfg)
+		}
+		// Stream the accepted-report log to disk while the campaign
+		// runs; StreamRetain keeps the in-world datasets so the CSV
+		// dumps are unchanged.
+		path := filepath.Join(dir, "reports.col")
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		pl := pipeline.New(len(tagsim.PlanWild(cfg)), pipeline.Config{}, pipeline.NewReportSink(f, 0))
+		cfg.Stream = pl
+		cfg.StreamRetain = true
+		res := tagsim.RunWild(cfg)
+		if err := pl.Wait(); err != nil {
+			log.Fatalf("report log: %v", err)
+		}
+		log.Printf("wrote %s", path)
+		return res
+	}
 	if replicates <= 1 {
-		writeWildTraces(tagsim.RunWild(cfg), out)
+		writeWildTraces(run(cfg, out), out)
 		return
 	}
 	// One replicate at a time (countries still parallel within each),
@@ -65,7 +93,7 @@ func runWild(seed int64, scale, fleetScale float64, workers, replicates int, out
 			log.Fatal(err)
 		}
 		log.Printf("replicate %d (seed %d):", r, rcfg.Seed)
-		writeWildTraces(tagsim.RunWild(rcfg), dir)
+		writeWildTraces(run(rcfg, dir), dir)
 	}
 }
 

@@ -36,6 +36,24 @@ const DefaultMinUpdateInterval = 192 * time.Second
 type Service struct {
 	*store.Store
 	vendor trace.Vendor
+
+	// Tap, when set, observes every accepted report right after Ingest
+	// admits it — the hook the streaming campaign pipeline uses to
+	// publish the cloud's accepted stream while the simulation runs.
+	// Set it before the service is shared across goroutines; the tap
+	// runs outside the store's shard locks, on the ingesting goroutine.
+	Tap func(trace.Report)
+}
+
+// Ingest applies the store's rate cap and, when the report is accepted,
+// forwards it to the service's Tap. See store.Store.Ingest for the
+// acceptance semantics.
+func (s *Service) Ingest(r trace.Report) bool {
+	ok := s.Store.Ingest(r)
+	if ok && s.Tap != nil {
+		s.Tap(r)
+	}
+	return ok
 }
 
 // NewService creates a vendor service with the default rate cap, history

@@ -42,6 +42,16 @@ type Crawler struct {
 	tagIDs  []string
 	rng     *rand.Rand
 	records []trace.CrawlRecord
+	nowSeen int
+
+	// Tap, when set, observes every crawl record as it is produced —
+	// the streaming campaign pipeline's hook into the crawl stream.
+	Tap func(trace.CrawlRecord)
+	// Discard stops the crawler from retaining records in memory
+	// (Records returns nil); counters like NowCount keep working. Set
+	// it when a Tap consumer owns the log, so a 120-day campaign never
+	// materializes the raw crawl log in the world.
+	Discard bool
 }
 
 // New builds a crawler over a cloud view. tagIDs are the tags paired to
@@ -77,31 +87,34 @@ func (c *Crawler) Poll(now time.Time) {
 				age++
 			}
 		}
-		c.records = append(c.records, trace.CrawlRecord{
+		rec := trace.CrawlRecord{
 			CrawlT:     now,
 			TagID:      tagID,
 			Vendor:     c.cfg.Vendor,
 			Pos:        pos,
 			ReportedAt: now.Add(-time.Duration(age) * time.Minute),
 			AgeMinutes: age,
-		})
+		}
+		if rec.IsNow() {
+			c.nowSeen++
+		}
+		if c.Tap != nil {
+			c.Tap(rec)
+		}
+		if !c.Discard {
+			c.records = append(c.records, rec)
+		}
 	}
 }
 
-// Records returns the accumulated crawl log (time-sorted by construction).
+// Records returns the accumulated crawl log (time-sorted by
+// construction), or nil when Discard routed it to the Tap instead.
 func (c *Crawler) Records() []trace.CrawlRecord { return c.records }
 
 // NowCount returns how many crawl records showed the tag as seen "Now" —
-// the quantity Table 1 reports per country.
-func (c *Crawler) NowCount() int {
-	n := 0
-	for _, r := range c.records {
-		if r.IsNow() {
-			n++
-		}
-	}
-	return n
-}
+// the quantity Table 1 reports per country. The count is maintained as
+// records are produced, so it survives Discard.
+func (c *Crawler) NowCount() int { return c.nowSeen }
 
 // DistinctReports collapses repeated crawl records that observed the
 // same underlying report (same tag, same displayed position, report

@@ -11,6 +11,7 @@ import (
 
 	"tagsim/internal/analysis"
 	"tagsim/internal/geo"
+	"tagsim/internal/pipeline"
 	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
 	"tagsim/internal/trace"
@@ -63,7 +64,10 @@ type Campaign struct {
 	// RemovedFrac is the share of fixes dropped by the home filter (the
 	// paper reports 65%).
 	RemovedFrac float64
-	// Filtered crawl records per vendor (incl. VendorCombined).
+	// Filtered crawl records per vendor (incl. VendorCombined). In a
+	// streamed campaign these hold only distinct reports (the raw crawl
+	// log never materialized); every accuracy consumer dedups its input
+	// anyway, so the two forms analyze identically.
 	filteredCrawls map[trace.Vendor][]trace.CrawlRecord
 	// One columnar analysis index per vendor over (Truth, filtered
 	// crawls): the crawl log is deduped and truth-resolved exactly once,
@@ -74,11 +78,60 @@ type Campaign struct {
 }
 
 // NewCampaign runs the campaign and prepares the shared analysis state.
+//
+// By default the campaign streams: scan ticks publish report batches
+// through the pipeline while the simulation runs, and the analysis
+// state grows incrementally from distinct crawl records — the raw crawl
+// log never materializes. pipeline.SetStreaming(false) reverts to the
+// historical batch path (simulate everything, then analyze), which the
+// equivalence tests pin byte-identical figure for figure.
 func NewCampaign(opts Options) *Campaign {
 	if opts.Scale <= 0 {
 		opts.Scale = 1
 	}
+	if pipeline.Streaming() {
+		return newCampaignStreamed(opts)
+	}
 	return newCampaignFromResult(opts, scenario.RunWild(opts.wildConfig()))
+}
+
+// newCampaignStreamed runs the campaign through the streaming pipeline:
+// one CampaignAccumulator consumes the merged world streams while the
+// country engines are still running, and the Campaign assembles from
+// its state. Country datasets are reattached from the accumulator's
+// per-world data (ground truth in full, crawls as distinct reports), so
+// the per-country figures (6, 7) read exactly what they would have
+// computed from the raw logs — every analysis consumer dedups anyway.
+func newCampaignStreamed(opts Options) *Campaign {
+	cfg := opts.wildConfig()
+	jobs := scenario.PlanWild(cfg)
+	acc := pipeline.NewCampaignAccumulator(len(jobs), opts.Workers)
+	pl := pipeline.New(len(jobs), pipeline.Config{}, acc)
+	cfg.Stream = pl
+	res := scenario.RunWild(cfg)
+	if err := pl.Wait(); err != nil {
+		// The accumulator does no I/O; an error here is a broken
+		// pipeline contract, not a runtime condition.
+		panic(err)
+	}
+	st := acc.State()
+	for i := range res.Countries {
+		w := st.Worlds[i]
+		res.Countries[i].Dataset = analysis.NewDataset(w.Fixes, w.Crawls)
+		res.Countries[i].Homes = w.Homes
+	}
+	c := &Campaign{
+		Options:        opts,
+		Result:         res,
+		Merged:         st.Merged,
+		Homes:          st.Homes,
+		Truth:          st.Truth,
+		RemovedFrac:    st.RemovedFrac,
+		filteredCrawls: st.Filtered,
+		indexes:        st.Indexes,
+	}
+	c.From, c.To = res.Span()
+	return c
 }
 
 // newCampaignFromResult prepares the shared analysis state over an
@@ -150,5 +203,7 @@ func (c *Campaign) dailyAccuracyByClass(v trace.Vendor, bucket time.Duration, ra
 	return c.Index(v).DailyAccuracyByClass(bucket, radiusM, c.From, c.To, classify, minBuckets)
 }
 
-// Vendors lists the three analysis ecosystems in figure order.
-var Vendors = []trace.Vendor{trace.VendorApple, trace.VendorSamsung, trace.VendorCombined}
+// Vendors lists the three analysis ecosystems in figure order — the
+// canonical trace.AnalysisVendors, shared with the streaming campaign
+// accumulator so the two paths can never drift on the vendor set.
+var Vendors = trace.AnalysisVendors

@@ -13,9 +13,13 @@ import (
 )
 
 // ReplicateSet bundles N same-config campaigns run from distinct derived
-// seeds (scenario.ReplicateSeed). Replicate 0 is byte-identical to a
-// plain NewCampaign with the same options, so aggregates extend — never
-// replace — the single-run figures.
+// seeds (scenario.ReplicateSeed). Replicate 0 renders every figure
+// byte-identically to a plain NewCampaign with the same options, so
+// aggregates extend — never replace — the single-run figures. (The
+// replicate fan-out materializes its campaigns on the batch path —
+// RunWildReplicates interleaves many worlds on one pool — while
+// NewCampaign streams by default; the streaming equivalence tests pin
+// the two paths figure-identical.)
 type ReplicateSet struct {
 	Options   Options
 	Campaigns []*Campaign

@@ -13,6 +13,7 @@
 package load
 
 import (
+	"encoding/json"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -124,9 +125,12 @@ func (c *Config) defaults() error {
 	return nil
 }
 
-// Target executes one operation against a serving backend.
+// Target executes one operation against a serving backend and returns
+// how many report records the operation touched (history/track lengths,
+// one for a found last-known fix) — the numerator of the harness's
+// sustained reports/s throughput.
 type Target interface {
-	Do(op Op, tagID string) error
+	Do(op Op, tagID string) (reports int, err error)
 }
 
 // Result is one load run's report.
@@ -135,6 +139,8 @@ type Result struct {
 	Workers  int
 	Errors   int
 	Elapsed  time.Duration
+	// Reports counts the report records served across all requests.
+	Reports int
 	// PerOp counts issued requests by operation — deterministic for a
 	// given config.
 	PerOp [numOps]int
@@ -150,11 +156,22 @@ func (r *Result) Throughput() float64 {
 	return float64(r.Requests) / r.Elapsed.Seconds()
 }
 
+// ReportThroughput returns report records served per wall-clock second
+// — the sustained data-plane rate behind the request rate.
+func (r *Result) ReportThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Reports) / r.Elapsed.Seconds()
+}
+
 // Render formats the report like the repo's figure renderings.
 func (r *Result) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Load report: %d requests, %d workers, %d errors, %.0f req/s over %v\n",
-		r.Requests, r.Workers, r.Errors, r.Throughput(), r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "Load report: %d requests, %d workers, %d errors over %v\n",
+		r.Requests, r.Workers, r.Errors, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  throughput  %.0f req/s, %.0f reports/s (%d reports served)\n",
+		r.Throughput(), r.ReportThroughput(), r.Reports)
 	fmt.Fprintf(&b, "  latency ms  p50=%.3f  p95=%.3f  p99=%.3f\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99)
 	fmt.Fprintf(&b, "  ops        ")
@@ -185,6 +202,7 @@ func Run(cfg Config, target Target) (*Result, error) {
 		latencies []float64
 		perOp     [numOps]int
 		errors    int
+		reports   int
 	}
 	outs := make([]workerOut, cfg.Workers)
 	var wg sync.WaitGroup
@@ -205,9 +223,10 @@ func Run(cfg Config, target Target) (*Result, error) {
 				op := cfg.Mix.pick(rng.Intn(cfg.Mix.total()))
 				tag := cfg.Tags[zipf.Uint64()]
 				t := time.Now()
-				err := target.Do(op, tag)
+				reports, err := target.Do(op, tag)
 				out.latencies = append(out.latencies, float64(time.Since(t))/float64(time.Millisecond))
 				out.perOp[op]++
+				out.reports += reports
 				if err != nil {
 					out.errors++
 				}
@@ -220,6 +239,7 @@ func Run(cfg Config, target Target) (*Result, error) {
 	for _, out := range outs {
 		all = append(all, out.latencies...)
 		res.Errors += out.errors
+		res.Reports += out.reports
 		for op, n := range out.perOp {
 			res.PerOp[op] += n
 		}
@@ -244,25 +264,45 @@ func NewServiceTarget(services map[trace.Vendor]*cloud.Service) *ServiceTarget {
 	return t
 }
 
+// known answers whether any backing service has the tag — mirroring
+// the HTTP layer's 404 for unknown tags, so error rates stay
+// comparable between the direct and HTTP targets.
+func (t *ServiceTarget) known(tagID string) bool {
+	for _, svc := range t.services {
+		if svc.Known(tagID) {
+			return true
+		}
+	}
+	return false
+}
+
 // Do implements Target against the in-process stores.
-func (t *ServiceTarget) Do(op Op, tagID string) error {
+func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
+	if op != OpStats && !t.known(tagID) {
+		return 0, fmt.Errorf("load: unknown tag %q", tagID)
+	}
 	switch op {
 	case OpLastKnown:
-		t.combined.LastSeen(tagID)
-	case OpHistory:
-		for _, svc := range t.services {
-			svc.History(tagID)
+		if _, _, ok := t.combined.LastSeen(tagID); ok {
+			return 1, nil
 		}
+		return 0, nil
+	case OpHistory:
+		n := 0
+		for _, svc := range t.services {
+			n += len(svc.History(tagID))
+		}
+		return n, nil
 	case OpTrack:
-		t.combined.MergedHistory(tagID)
+		return len(t.combined.MergedHistory(tagID)), nil
 	case OpStats:
 		for _, svc := range t.services {
 			svc.Stats()
 		}
+		return 0, nil
 	default:
-		return fmt.Errorf("load: unknown op %v", op)
+		return 0, fmt.Errorf("load: unknown op %v", op)
 	}
-	return nil
 }
 
 // HTTPTarget drives the serve package's query API over real HTTP.
@@ -290,8 +330,10 @@ func NewHTTPTarget(base string) *HTTPTarget {
 }
 
 // Do implements Target over the HTTP query API. Queries use the
-// Combined view, like the paper's unified-ecosystem analysis.
-func (t *HTTPTarget) Do(op Op, tagID string) error {
+// Combined view, like the paper's unified-ecosystem analysis. Report-
+// bearing responses are decoded just enough to count the records, so
+// reports/s reflects payloads a real client would have parsed.
+func (t *HTTPTarget) Do(op Op, tagID string) (int, error) {
 	var path string
 	switch op {
 	case OpLastKnown:
@@ -303,18 +345,56 @@ func (t *HTTPTarget) Do(op Op, tagID string) error {
 	case OpStats:
 		path = "/v1/stats"
 	default:
-		return fmt.Errorf("load: unknown op %v", op)
+		return 0, fmt.Errorf("load: unknown op %v", op)
 	}
 	resp, err := t.Client.Get(t.Base + path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return err
-	}
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("load: %s: status %d", path, resp.StatusCode)
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("load: %s: status %d", path, resp.StatusCode)
 	}
-	return nil
+	reports, err := countReports(op, resp.Body)
+	if err != nil {
+		return reports, fmt.Errorf("load: %s: %w", path, err)
+	}
+	return reports, nil
+}
+
+// countReports counts the report records in a 200 response body.
+// Objects decode into empty structs, so counting never materializes the
+// payload fields. The body is always drained so the connection can be
+// reused.
+func countReports(op Op, body io.Reader) (int, error) {
+	drain := func() { _, _ = io.Copy(io.Discard, body) }
+	dec := json.NewDecoder(body)
+	var n int
+	var err error
+	switch op {
+	case OpLastKnown:
+		var v struct {
+			Found bool `json:"found"`
+		}
+		if err = dec.Decode(&v); err == nil && v.Found {
+			n = 1
+		}
+	case OpHistory:
+		var v struct {
+			Reports []struct{} `json:"reports"`
+		}
+		if err = dec.Decode(&v); err == nil {
+			n = len(v.Reports)
+		}
+	case OpTrack:
+		var v struct {
+			Track []struct{} `json:"track"`
+		}
+		if err = dec.Decode(&v); err == nil {
+			n = len(v.Track)
+		}
+	}
+	drain()
+	return n, err
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -31,14 +32,14 @@ func newRecordingTarget(fail bool) *recordingTarget {
 	return &recordingTarget{count: map[string]int{}, fail: fail}
 }
 
-func (t *recordingTarget) Do(op Op, tagID string) error {
+func (t *recordingTarget) Do(op Op, tagID string) (int, error) {
 	t.mu.Lock()
 	t.count[op.String()+"/"+tagID]++
 	t.mu.Unlock()
 	if t.fail {
-		return errors.New("boom")
+		return 0, errors.New("boom")
 	}
-	return nil
+	return 2, nil // pretend every op served two report records
 }
 
 func tags(n int) []string {
@@ -113,8 +114,22 @@ func TestZipfSkewAndMix(t *testing.T) {
 	if res.Throughput() <= 0 {
 		t.Error("throughput must be positive")
 	}
-	if res.Render() == "" {
+	// The recording target reports two records per op, so the sustained
+	// data rate is exactly twice the request rate.
+	if res.Reports != 2*res.Requests {
+		t.Errorf("reports = %d, want %d", res.Reports, 2*res.Requests)
+	}
+	if got, want := res.ReportThroughput(), 2*res.Throughput(); got < want*0.99 || got > want*1.01 {
+		t.Errorf("report throughput = %.0f, want ~%.0f", got, want)
+	}
+	out := res.Render()
+	if out == "" {
 		t.Error("Render must describe the run")
+	}
+	for _, want := range []string{"req/s", "reports/s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
 	}
 }
 
@@ -162,9 +177,18 @@ func fixtureServices() map[trace.Vendor]*cloud.Service {
 func TestServiceTarget(t *testing.T) {
 	target := NewServiceTarget(fixtureServices())
 	for op := Op(0); op < numOps; op++ {
-		if err := target.Do(op, "airtag-1"); err != nil {
+		if _, err := target.Do(op, "airtag-1"); err != nil {
 			t.Errorf("%v: %v", op, err)
 		}
+	}
+	// The fixture accepts all 5 reports per tag (4-minute spacing clears
+	// the rate cap), so history of a known tag serves 5 records and
+	// lastknown 1.
+	if n, _ := target.Do(OpHistory, "airtag-1"); n != 5 {
+		t.Errorf("history reports = %d, want 5", n)
+	}
+	if n, _ := target.Do(OpLastKnown, "airtag-1"); n != 1 {
+		t.Errorf("lastknown reports = %d, want 1", n)
 	}
 	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "tag-x"}}, target)
 	if err != nil {
@@ -173,6 +197,9 @@ func TestServiceTarget(t *testing.T) {
 	if res.Errors != 0 {
 		t.Errorf("direct target errors = %d", res.Errors)
 	}
+	if res.Reports == 0 {
+		t.Error("direct target served no reports")
+	}
 }
 
 // TestHTTPTargetEndToEnd runs the closed loop against a real HTTP server
@@ -180,15 +207,42 @@ func TestServiceTarget(t *testing.T) {
 func TestHTTPTargetEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(serve.NewServer(fixtureServices()))
 	defer ts.Close()
-	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "ghost"}},
+	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "tag-x"}},
 		NewHTTPTarget(ts.URL))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Errors != 0 { // unknown tags are valid "no location found" answers
+	if res.Errors != 0 {
 		t.Errorf("HTTP target errors = %d", res.Errors)
 	}
 	if res.Latency.P50 <= 0 {
 		t.Error("latencies must be measured")
+	}
+	if res.Reports == 0 {
+		t.Error("HTTP target counted no served reports")
+	}
+	// HTTP and direct targets must count the same per-request payloads.
+	direct := NewServiceTarget(fixtureServices())
+	httpT := NewHTTPTarget(ts.URL)
+	for op := Op(0); op < numOps; op++ {
+		want, _ := direct.Do(op, "smarttag-1")
+		got, err := httpT.Do(op, "smarttag-1")
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		if got != want {
+			t.Errorf("%v: HTTP counted %d reports, direct %d", op, got, want)
+		}
+	}
+	// ...and agree that an unknown tag is an error (the HTTP layer
+	// 404s it; the direct target mirrors that), keeping error rates
+	// comparable between the two modes.
+	for _, op := range []Op{OpLastKnown, OpHistory, OpTrack} {
+		if _, err := direct.Do(op, "ghost"); err == nil {
+			t.Errorf("%v: direct target accepted unknown tag", op)
+		}
+		if _, err := httpT.Do(op, "ghost"); err == nil {
+			t.Errorf("%v: HTTP target accepted unknown tag", op)
+		}
 	}
 }

@@ -1,0 +1,376 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"tagsim/internal/trace"
+)
+
+// The columnar report log replaces full in-memory trace retention for
+// large worlds: the pipeline streams accepted reports to disk as they
+// happen, and readers stream them back one frame at a time, never
+// holding the whole log.
+//
+// Layout (little-endian throughout):
+//
+//	file  := magic frames*
+//	magic := "TAGRPT1\n" (8 bytes)
+//	frame := u32 payloadBytes | payload       -- length-prefixed
+//	payload :=
+//	    u32 count
+//	    i64 t[count]        -- Report.T, unix nanos
+//	    i64 heardAt[count]  -- Report.HeardAt, unix nanos
+//	    u64 lat[count]      -- math.Float64bits
+//	    u64 lon[count]
+//	    u64 rssi[count]
+//	    u8  vendor[count]
+//	    strcol tagID
+//	    strcol reporterID
+//	strcol := (u32 len | bytes)*count
+//
+// The column-per-field layout mirrors the analysis index's int64-nano
+// time columns, so a future reader can scan one column without decoding
+// the rest; the frame length prefix lets readers skip frames wholesale.
+const reportLogMagic = "TAGRPT1\n"
+
+// DefaultSinkFlush is the default reports-per-frame of the columnar
+// sink. Framing depends only on the report sequence and this constant,
+// which is what makes a streamed file byte-identical to one written
+// from a batch-collected log.
+const DefaultSinkFlush = 4096
+
+// maxFrameBytes bounds a frame a reader will accept, so a corrupt
+// length prefix cannot drive an allocation by gigabytes.
+const maxFrameBytes = 64 << 20
+
+// ReportWriter encodes reports into the columnar log. It is not safe
+// for concurrent use; the pipeline drives it from one consumer
+// goroutine.
+type ReportWriter struct {
+	w          *bufio.Writer
+	batch      []trace.Report
+	flushEvery int
+	wroteMagic bool
+	closed     bool
+}
+
+// NewReportWriter builds a writer that frames every flushEvery reports
+// (<= 0 means DefaultSinkFlush).
+func NewReportWriter(w io.Writer, flushEvery int) *ReportWriter {
+	if flushEvery <= 0 {
+		flushEvery = DefaultSinkFlush
+	}
+	return &ReportWriter{w: bufio.NewWriter(w), flushEvery: flushEvery}
+}
+
+// Append adds reports to the current frame, writing frames as the
+// threshold fills.
+func (w *ReportWriter) Append(reports ...trace.Report) error {
+	if w.closed {
+		return fmt.Errorf("pipeline: append to closed ReportWriter")
+	}
+	for _, r := range reports {
+		w.batch = append(w.batch, r)
+		if len(w.batch) >= w.flushEvery {
+			if err := w.writeFrame(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close writes the final partial frame and flushes buffered bytes. It
+// does not close the underlying writer.
+func (w *ReportWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.batch) > 0 || !w.wroteMagic {
+		if err := w.writeFrame(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}
+
+func (w *ReportWriter) writeFrame() error {
+	if !w.wroteMagic {
+		w.wroteMagic = true
+		if _, err := w.w.WriteString(reportLogMagic); err != nil {
+			return err
+		}
+	}
+	rs := w.batch
+	payload := 4 // count
+	payload += len(rs) * (8 + 8 + 8 + 8 + 8 + 1)
+	for _, r := range rs {
+		payload += 4 + len(r.TagID) + 4 + len(r.ReporterID)
+	}
+	if payload > maxFrameBytes {
+		// Refuse to write what the package's own reader would reject
+		// (and what a u32 length prefix could silently truncate past
+		// 4 GiB). Callers hit this only with an absurd flushEvery.
+		return fmt.Errorf("pipeline: frame of %d reports is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(rs), payload, maxFrameBytes)
+	}
+	var scratch [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := w.w.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := w.w.Write(scratch[:8])
+		return err
+	}
+	if err := putU32(uint32(payload)); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(rs))); err != nil {
+		return err
+	}
+	for _, r := range rs {
+		if err := putU64(uint64(r.T.UnixNano())); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU64(uint64(r.HeardAt.UnixNano())); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU64(math.Float64bits(r.Pos.Lat)); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU64(math.Float64bits(r.Pos.Lon)); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU64(math.Float64bits(r.RSSI)); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := w.w.WriteByte(byte(r.Vendor)); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU32(uint32(len(r.TagID))); err != nil {
+			return err
+		}
+		if _, err := w.w.WriteString(r.TagID); err != nil {
+			return err
+		}
+	}
+	for _, r := range rs {
+		if err := putU32(uint32(len(r.ReporterID))); err != nil {
+			return err
+		}
+		if _, err := w.w.WriteString(r.ReporterID); err != nil {
+			return err
+		}
+	}
+	w.batch = w.batch[:0]
+	return nil
+}
+
+// WriteReports one-shots a report slice into the columnar format — the
+// batch path's dump. Bytes are identical to a ReportSink streaming the
+// same report sequence at the same flushEvery.
+func WriteReports(w io.Writer, reports []trace.Report, flushEvery int) error {
+	rw := NewReportWriter(w, flushEvery)
+	if err := rw.Append(reports...); err != nil {
+		return err
+	}
+	return rw.Close()
+}
+
+// ReportReader streams frames back from a columnar report log.
+type ReportReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewReportReader validates the magic and positions at the first frame.
+func NewReportReader(r io.Reader) (*ReportReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(reportLogMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("pipeline: report log header: %w", err)
+	}
+	if string(magic) != reportLogMagic {
+		return nil, fmt.Errorf("pipeline: bad report log magic %q", magic)
+	}
+	return &ReportReader{r: br}, nil
+}
+
+// Next returns the next frame's reports, or io.EOF after the last
+// frame. A short or corrupt frame returns a descriptive error.
+func (r *ReportReader) Next() ([]trace.Report, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			r.err = io.EOF
+			return nil, io.EOF
+		}
+		r.err = fmt.Errorf("pipeline: frame length: %w", err)
+		return nil, r.err
+	}
+	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if payloadLen < 4 || payloadLen > maxFrameBytes {
+		r.err = fmt.Errorf("pipeline: implausible frame length %d", payloadLen)
+		return nil, r.err
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		r.err = fmt.Errorf("pipeline: truncated frame: %w", err)
+		return nil, r.err
+	}
+	reports, err := decodeFrame(payload)
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	return reports, nil
+}
+
+// ReadAll drains the remaining frames into one slice.
+func (r *ReportReader) ReadAll() ([]trace.Report, error) {
+	var out []trace.Report
+	for {
+		frame, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, frame...)
+	}
+}
+
+// ReadReports reads a whole columnar log from r.
+func ReadReports(r io.Reader) ([]trace.Report, error) {
+	rr, err := NewReportReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return rr.ReadAll()
+}
+
+func decodeFrame(payload []byte) ([]trace.Report, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(payload) {
+			return 0, fmt.Errorf("pipeline: frame underrun at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if off+8 > len(payload) {
+			return 0, fmt.Errorf("pipeline: frame underrun at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v, nil
+	}
+	count, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	fixed := int(count) * (8 + 8 + 8 + 8 + 8 + 1)
+	if fixed < 0 || off+fixed > len(payload) {
+		return nil, fmt.Errorf("pipeline: frame count %d exceeds payload", count)
+	}
+	out := make([]trace.Report, count)
+	for i := range out {
+		v, _ := u64()
+		out[i].T = time.Unix(0, int64(v)).UTC()
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].HeardAt = time.Unix(0, int64(v)).UTC()
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].Pos.Lat = math.Float64frombits(v)
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].Pos.Lon = math.Float64frombits(v)
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].RSSI = math.Float64frombits(v)
+	}
+	for i := range out {
+		if off >= len(payload) {
+			return nil, fmt.Errorf("pipeline: frame underrun at byte %d", off)
+		}
+		out[i].Vendor = trace.Vendor(payload[off])
+		off++
+	}
+	str := func() (string, error) {
+		n, err := u32()
+		if err != nil {
+			return "", err
+		}
+		if off+int(n) > len(payload) {
+			return "", fmt.Errorf("pipeline: string column underrun at byte %d", off)
+		}
+		s := string(payload[off : off+int(n)])
+		off += int(n)
+		return s, nil
+	}
+	for i := range out {
+		if out[i].TagID, err = str(); err != nil {
+			return nil, err
+		}
+	}
+	for i := range out {
+		if out[i].ReporterID, err = str(); err != nil {
+			return nil, err
+		}
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("pipeline: %d trailing bytes in frame", len(payload)-off)
+	}
+	return out, nil
+}
+
+// ReportSink is the pipeline consumer wrapping a ReportWriter: it
+// re-frames the merged report stream at its own threshold, so the file
+// bytes depend only on the (deterministic) report sequence — never on
+// how the worlds happened to batch their emissions.
+type ReportSink struct {
+	w *ReportWriter
+}
+
+// NewReportSink builds the consumer (flushEvery <= 0 means
+// DefaultSinkFlush).
+func NewReportSink(w io.Writer, flushEvery int) *ReportSink {
+	return &ReportSink{w: NewReportWriter(w, flushEvery)}
+}
+
+// Consume implements Consumer.
+func (s *ReportSink) Consume(b Batch) error { return s.w.Append(b.Reports...) }
+
+// Close implements Consumer.
+func (s *ReportSink) Close() error { return s.w.Close() }

@@ -13,6 +13,7 @@ import (
 	"tagsim/internal/encounter"
 	"tagsim/internal/geo"
 	"tagsim/internal/mobility"
+	"tagsim/internal/pipeline"
 	"tagsim/internal/population"
 	"tagsim/internal/runner"
 	"tagsim/internal/sim"
@@ -62,6 +63,20 @@ type WildConfig struct {
 	// seed-derived RNG streams, so the output is identical for any
 	// value (see internal/runner).
 	Workers int
+	// Stream, when set, attaches every country world to a streaming
+	// campaign pipeline sized with PlanWild's job count: accepted cloud
+	// reports, uploaded ground-truth fixes, and crawl records publish
+	// through world Index's emitter as the engine runs, and each world
+	// closes its emitter when its stay ends. Unless StreamRetain is
+	// set, the worlds then retain nothing — CountryResult.Dataset is
+	// empty and Homes nil; the pipeline's consumers own the data (see
+	// experiments.NewCampaign for the reassembly). The caller must
+	// Wait on the pipeline after RunWild returns.
+	Stream *pipeline.Pipeline
+	// StreamRetain keeps the historical in-world record retention while
+	// also streaming — for callers (cmd/tagsim's report log) that need
+	// both the live stream and the batch datasets.
+	StreamRetain bool
 }
 
 func (c *WildConfig) defaults() {
@@ -249,6 +264,7 @@ type countryWorld struct {
 	appleCrawler   *crawler.Crawler
 	samsungCrawler *crawler.Crawler
 	clouds         map[trace.Vendor]*cloud.Service
+	em             *pipeline.WorldEmitter // nil outside streaming runs
 }
 
 // build constructs the country's world on a fresh engine.
@@ -417,6 +433,29 @@ func (j CountryJob) build() *countryWorld {
 	appleCrawler.Attach(e, start)
 	samsungCrawler.Attach(e, start)
 
+	// Streaming: tap every record stream into the world's pipeline
+	// emitter. The taps run on the engine's goroutine, so emission
+	// order is the engine's deterministic event order; the bounded
+	// channel hands the stream to the pipeline's consumers. None of
+	// this perturbs any RNG draw, so the simulated records are
+	// byte-identical to a batch run with the same seed.
+	var em *pipeline.WorldEmitter
+	if cfg.Stream != nil {
+		em = cfg.Stream.World(index)
+		em.RegisterTag(trace.VendorApple, airTag.ID)
+		em.RegisterTag(trace.VendorSamsung, smartTag.ID)
+		apple.Tap = em.Report
+		samsung.Tap = em.Report
+		appleCrawler.Tap = em.Crawl
+		samsungCrawler.Tap = em.Crawl
+		vp.Tap = em.Fixes
+		if !cfg.StreamRetain {
+			appleCrawler.Discard = true
+			samsungCrawler.Discard = true
+			vp.Discard = true
+		}
+	}
+
 	return &countryWorld{
 		job:            j,
 		e:              e,
@@ -427,14 +466,21 @@ func (j CountryJob) build() *countryWorld {
 		appleCrawler:   appleCrawler,
 		samsungCrawler: samsungCrawler,
 		clouds:         clouds,
+		em:             em,
 	}
 }
 
 // run drives the world's engine to the end of the stay and collects the
-// country's campaign output.
+// country's campaign output. In a streaming run the emitter is closed
+// here — after the final vantage flush — sealing the world's batch
+// sequence; the retained Dataset/Homes are then empty unless
+// StreamRetain kept them.
 func (w *countryWorld) run() CountryResult {
 	w.e.RunUntil(w.end)
 	w.vp.Flush(w.end) // deliver whatever is still buffered
+	if w.em != nil {
+		w.em.Close()
+	}
 
 	gt := w.vp.Records()
 	ds := analysis.NewDataset(gt, map[trace.Vendor][]trace.CrawlRecord{

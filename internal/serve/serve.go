@@ -170,6 +170,19 @@ func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) (cloud.View, st
 	return svc, label, true
 }
 
+// knownTag answers whether any backing service knows the tag; unknown
+// tags 404 on every tag-scoped endpoint (a paired-but-unreported tag
+// still answers 200 with the app's "no location found").
+func (s *Server) knownTag(w http.ResponseWriter, tagID string) bool {
+	for _, svc := range s.services {
+		if svc.Known(tagID) {
+			return true
+		}
+	}
+	writeErr(w, http.StatusNotFound, "unknown tag %q", tagID)
+	return false
+}
+
 // nowParam returns the reference instant for age labels: ?now=RFC3339
 // when given (deterministic queries against simulated pasts), else the
 // server clock.
@@ -212,6 +225,9 @@ func (s *Server) handleLastKnown(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !s.knownTag(w, tag) {
+		return
+	}
 	writeJSON(w, http.StatusOK, lastKnown(view, vendorName, tag, now))
 }
 
@@ -224,21 +240,26 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	limit := -1 // no limit
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit parameter %q", raw)
+			return
+		}
+		limit = n
+	}
+	if !s.knownTag(w, tag) {
+		return
+	}
 	var reports []trace.Report
 	if svc == nil {
 		reports = s.combined.MergedHistory(tag)
 	} else {
 		reports = svc.History(tag)
 	}
-	if limit := r.URL.Query().Get("limit"); limit != "" {
-		n, err := strconv.Atoi(limit)
-		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, "bad limit parameter %q", limit)
-			return
-		}
-		if n < len(reports) { // keep the newest n
-			reports = reports[len(reports)-n:]
-		}
+	if limit >= 0 && limit < len(reports) { // keep the newest n
+		reports = reports[len(reports)-limit:]
 	}
 	writeJSON(w, http.StatusOK, HistoryResponse{TagID: tag, Vendor: label, Reports: reports})
 }
@@ -250,6 +271,9 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	}
 	now, ok := nowParam(w, r)
 	if !ok {
+		return
+	}
+	if !s.knownTag(w, tag) {
 		return
 	}
 	merged := s.combined.MergedHistory(tag)

@@ -34,6 +34,7 @@ func fixture() (map[trace.Vendor]*cloud.Service, *httptest.Server) {
 	apple.Ingest(report(t0.Add(10*time.Minute), trace.VendorApple, "airtag-1", geo.Destination(pos, 90, 300)))
 	samsung.Ingest(report(t0.Add(20*time.Minute), trace.VendorSamsung, "airtag-1", geo.Destination(pos, 180, 500)))
 	samsung.Ingest(report(t0, trace.VendorSamsung, "smarttag-1", pos))
+	apple.Register("airtag-quiet") // paired, never reported
 	services := map[trace.Vendor]*cloud.Service{
 		trace.VendorApple:   apple,
 		trace.VendorSamsung: samsung,
@@ -73,9 +74,10 @@ func TestLastKnownPerVendorAndCombined(t *testing.T) {
 	if lk.AgeMinutes != 5 {
 		t.Errorf("combined age = %d, want 5", lk.AgeMinutes)
 	}
-	// Unknown tag: 200 with the app's "no location found".
-	if code := getJSON(t, ts.URL+"/v1/lastknown?vendor=Apple&tag=ghost", &lk); code != 200 || lk.Found {
-		t.Errorf("unknown tag: code %d found %v", code, lk.Found)
+	// Registered but report-less tag: 200 with the app's "no location
+	// found" (the companion app's own answer for a silent paired tag).
+	if code := getJSON(t, ts.URL+"/v1/lastknown?vendor=Apple&tag=airtag-quiet", &lk); code != 200 || lk.Found {
+		t.Errorf("report-less tag: code %d found %v", code, lk.Found)
 	}
 }
 
@@ -136,7 +138,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if len(st.Vendors) != 2 || st.Vendors[0].Vendor != "Apple" || st.Vendors[1].Vendor != "Samsung" {
 		t.Fatalf("stats vendors = %+v", st.Vendors)
 	}
-	if st.Vendors[0].Accepted != 2 || st.Vendors[0].Tags != 1 {
+	if st.Vendors[0].Accepted != 2 || st.Vendors[0].Tags != 2 { // airtag-1 + the paired-but-quiet tag
 		t.Errorf("apple stats = %+v", st.Vendors[0])
 	}
 	if st.Vendors[1].Accepted != 2 || st.Vendors[1].Tags != 2 {
@@ -215,6 +217,109 @@ func TestBadRequests(t *testing.T) {
 	var e struct{ Error string }
 	if code := getJSON(t, ts.URL+"/v1/lastknown?tag=x&vendor=Other", &e); code != http.StatusNotFound {
 		t.Errorf("missing service: code %d, want 404", code)
+	}
+}
+
+// TestUnknownTagIs404: a tag no backing service has ever heard of is a
+// 404 on every tag-scoped endpoint, with a JSON error envelope — while
+// malformed parameters stay 400 even when the tag is also unknown
+// (request validity is judged before existence).
+func TestUnknownTagIs404(t *testing.T) {
+	_, ts := fixture()
+	defer ts.Close()
+	for _, url := range []string{
+		"/v1/lastknown?tag=ghost",
+		"/v1/lastknown?tag=ghost&vendor=Apple",
+		"/v1/history?tag=ghost",
+		"/v1/history?tag=ghost&vendor=Samsung&limit=5",
+		"/v1/track?tag=ghost",
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+url, &e); code != http.StatusNotFound || e.Error == "" {
+			t.Errorf("%s: code %d error %q, want 404 with message", url, code, e.Error)
+		}
+	}
+	// Malformed parameters outrank the unknown tag.
+	for _, url := range []string{
+		"/v1/lastknown?tag=ghost&vendor=Nope",
+		"/v1/lastknown?tag=ghost&now=gibber",
+		"/v1/history?tag=ghost&limit=-1",
+	} {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if code := getJSON(t, ts.URL+url, &e); code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400", url, code)
+		}
+	}
+}
+
+// TestMalformedReportBodies pins the POST /v1/report 400 paths: bodies
+// that do not parse, or parse but miss required fields, must never
+// touch a store.
+func TestMalformedReportBodies(t *testing.T) {
+	services, ts := fixture()
+	defer ts.Close()
+	before := func() (a, s uint64) {
+		a, _ = services[trace.VendorApple].Stats()
+		s, _ = services[trace.VendorSamsung].Stats()
+		return a, s
+	}
+	appleAcc, samsungAcc := before()
+	for _, body := range []string{
+		"",                                      // empty
+		"{",                                     // truncated JSON
+		"not json at all",                       // garbage
+		`[]`,                                    // wrong JSON shape
+		`{"vendor":"Apple"}`,                    // missing tag_id
+		`{"tag_id":"airtag-1"}`,                 // missing vendor
+		`{"tag_id":"airtag-1","vendor":"Nope"}`, // unparseable vendor name
+	} {
+		resp, err := http.Post(ts.URL+"/v1/report", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || e.Error == "" {
+			t.Errorf("body %q: code %d error %q, want 400 with message", body, resp.StatusCode, e.Error)
+		}
+	}
+	if a, s := before(); a != appleAcc || s != samsungAcc {
+		t.Error("malformed report bodies leaked into a store")
+	}
+}
+
+// TestMethodNotAllowed: the method-scoped mux patterns must answer 405
+// for the wrong verb on every route.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := fixture()
+	defer ts.Close()
+	post := func(url string) int {
+		resp, err := http.Post(ts.URL+url, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	for _, url := range []string{"/v1/lastknown?tag=airtag-1", "/v1/history?tag=airtag-1", "/v1/track?tag=airtag-1", "/v1/stats"} {
+		if code := post(url); code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: code %d, want 405", url, code)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/report: code %d, want 405", resp.StatusCode)
 	}
 }
 

@@ -125,11 +125,14 @@ type QuantileSummary struct {
 }
 
 // Quantiles computes the p50/p95/p99 summary of the samples with the
-// same linear interpolation as Percentile; all three are NaN for an
-// empty slice.
+// same linear interpolation as Percentile. Degenerate inputs stay
+// NaN-free so reports render and serialize cleanly: an empty slice
+// yields the zero summary, and a single sample is its own p50/p95/p99.
 func Quantiles(xs []float64) QuantileSummary {
+	// Only the empty input needs special casing: a single sample already
+	// comes out NaN-free from the interpolation (rank 0 -> sorted[0]).
 	if len(xs) == 0 {
-		return QuantileSummary{P50: nan, P95: nan, P99: nan}
+		return QuantileSummary{}
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)

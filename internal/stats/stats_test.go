@@ -82,13 +82,6 @@ func TestQuantilesKnownDistributions(t *testing.T) {
 			t.Errorf("p%v = %v, Percentile says %v", c.p, c.got, want)
 		}
 	}
-	// Degenerate inputs.
-	if c := Quantiles([]float64{42}); c.P50 != 42 || c.P95 != 42 || c.P99 != 42 {
-		t.Errorf("single-sample quantiles = %+v", c)
-	}
-	if e := Quantiles(nil); !math.IsNaN(e.P50) || !math.IsNaN(e.P95) || !math.IsNaN(e.P99) || e.N != 0 {
-		t.Errorf("empty quantiles = %+v", e)
-	}
 	// Input must not be reordered by the call.
 	before := append([]float64(nil), exp...)
 	Quantiles(exp)
@@ -96,6 +89,38 @@ func TestQuantilesKnownDistributions(t *testing.T) {
 		if exp[i] != before[i] {
 			t.Fatal("Quantiles mutated its input")
 		}
+	}
+}
+
+// TestQuantilesDegenerate pins the NaN-free contract for tiny inputs:
+// the load harness and serving reports embed these summaries in JSON
+// and rendered tables, where a NaN would poison both.
+func TestQuantilesDegenerate(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want QuantileSummary
+	}{
+		{"nil", nil, QuantileSummary{}},
+		{"empty", []float64{}, QuantileSummary{}},
+		{"single", []float64{42}, QuantileSummary{N: 1, P50: 42, P95: 42, P99: 42}},
+		{"single-zero", []float64{0}, QuantileSummary{N: 1}},
+		{"single-negative", []float64{-3.5}, QuantileSummary{N: 1, P50: -3.5, P95: -3.5, P99: -3.5}},
+		{"pair", []float64{1, 3}, QuantileSummary{N: 2, P50: 2, P95: 2.9, P99: 2.98}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := Quantiles(c.xs)
+			if math.IsNaN(got.P50) || math.IsNaN(got.P95) || math.IsNaN(got.P99) {
+				t.Fatalf("Quantiles(%v) contains NaN: %+v", c.xs, got)
+			}
+			if got.N != c.want.N ||
+				!almostEqual(got.P50, c.want.P50, 1e-12) ||
+				!almostEqual(got.P95, c.want.P95, 1e-12) ||
+				!almostEqual(got.P99, c.want.P99, 1e-12) {
+				t.Errorf("Quantiles(%v) = %+v, want %+v", c.xs, got, c.want)
+			}
+		})
 	}
 }
 

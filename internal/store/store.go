@@ -208,6 +208,17 @@ func (s *Store) Restore(reports []trace.Report) {
 	}
 }
 
+// Known reports whether the tag is registered (explicitly or by a past
+// ingest) — the distinction the query API uses between "no location
+// found" for a paired tag and a 404 for a tag that does not exist.
+func (s *Store) Known(tagID string) bool {
+	sh := s.shardFor(tagID)
+	sh.mu.Lock()
+	_, ok := sh.tags[tagID]
+	sh.mu.Unlock()
+	return ok
+}
+
 // LastSeen returns the tag's last reported location and when it was
 // observed. ok is false when the tag is unknown or has no reports yet.
 func (s *Store) LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool) {

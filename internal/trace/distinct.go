@@ -13,6 +13,41 @@ import (
 // reconstruction jitter on each observation.
 const distinctReportWindow = 90 * time.Second
 
+// dedupKey identifies "the same underlying report": one tag observed at
+// one exact displayed position.
+type dedupKey struct {
+	tag string
+	lat float64
+	lon float64
+}
+
+// Deduper is the streaming form of DistinctReports: feed crawl records
+// in observation order and Keep answers whether each one is a distinct
+// report (true) or a repeat observation of an already-kept report
+// (false). Feeding a whole log through one Deduper keeps exactly the
+// records DistinctReports would return, which is what lets the
+// streaming campaign pipeline dedup crawl batches as they arrive
+// instead of materializing the raw log first.
+type Deduper struct {
+	last map[dedupKey]time.Time
+}
+
+// NewDeduper creates an empty dedup state.
+func NewDeduper() *Deduper { return &Deduper{last: make(map[dedupKey]time.Time)} }
+
+// Keep reports whether r is a distinct report, updating the state: a
+// record is a repeat when the last kept record of the same tag at the
+// same displayed position has a reconstructed report time within 90
+// seconds.
+func (d *Deduper) Keep(r CrawlRecord) bool {
+	k := dedupKey{r.TagID, r.Pos.Lat, r.Pos.Lon}
+	if prev, ok := d.last[k]; ok && absDuration(prev.Sub(r.ReportedAt)) <= distinctReportWindow {
+		return false
+	}
+	d.last[k] = r.ReportedAt
+	return true
+}
+
 // DistinctReports collapses repeated crawl observations of the same
 // underlying report into one record each: a record is dropped when the
 // last kept record of the same tag at the same displayed position has a
@@ -20,23 +55,21 @@ const distinctReportWindow = 90 * time.Second
 // and the input slice is untouched.
 //
 // This is the single dedup shared by the analysis plane (accuracy
-// bucketing over crawl logs) and the crawler's fine-grained location
-// history (cmd/tagserve's trace-backed ingest).
+// bucketing over crawl logs), the crawler's fine-grained location
+// history (cmd/tagserve's trace-backed ingest), and the streaming
+// campaign accumulator (via Deduper). Two properties the streaming
+// pipeline relies on, pinned by distinct_test.go: the dedup is
+// idempotent (re-deduping distinct output keeps everything), and it
+// commutes with any filter that drops whole (tag, position) classes —
+// such as the 300 m home filter — because the kept/dropped decision for
+// a record depends only on earlier records of its own key.
 func DistinctReports(records []CrawlRecord) []CrawlRecord {
-	type key struct {
-		tag string
-		lat float64
-		lon float64
-	}
 	var out []CrawlRecord
-	last := make(map[key]time.Time, len(records))
+	d := NewDeduper()
 	for _, r := range records {
-		k := key{r.TagID, r.Pos.Lat, r.Pos.Lon}
-		if prev, ok := last[k]; ok && absDuration(prev.Sub(r.ReportedAt)) <= distinctReportWindow {
-			continue
+		if d.Keep(r) {
+			out = append(out, r)
 		}
-		last[k] = r.ReportedAt
-		out = append(out, r)
 	}
 	return out
 }

@@ -34,6 +34,12 @@ const (
 
 var vendorNames = [...]string{"Apple", "Samsung", "Combined", "Other"}
 
+// AnalysisVendors lists the three analysis ecosystems in figure order —
+// the paper's two real services plus the emulated unified ecosystem.
+// It is the single canonical list behind experiments.Vendors and the
+// streaming campaign accumulator's per-vendor planes.
+var AnalysisVendors = []Vendor{VendorApple, VendorSamsung, VendorCombined}
+
 // String returns the vendor name as used in the paper's tables.
 func (v Vendor) String() string {
 	if int(v) < len(vendorNames) {

@@ -60,6 +60,16 @@ type VantagePoint struct {
 	uploaded int
 	flushes  int
 	offline  int
+
+	// Tap, when set, observes each successfully uploaded fix batch (in
+	// fix-time order) — the streaming campaign pipeline's hook into the
+	// ground-truth stream. The slice is reused between flushes; taps
+	// must copy what they keep.
+	Tap func([]trace.GroundTruth)
+	// Discard stops the vantage point from retaining uploaded fixes in
+	// memory (Records returns nil). Set it when a Tap consumer owns the
+	// ground truth.
+	Discard bool
 }
 
 // New creates a vantage point following the given mobility model.
@@ -128,13 +138,19 @@ func (v *VantagePoint) Flush(now time.Time) {
 	for i := range v.buffer {
 		v.buffer[i].UploadedAt = now
 	}
-	v.records = append(v.records, v.buffer...)
+	if v.Tap != nil {
+		v.Tap(v.buffer)
+	}
+	if !v.Discard {
+		v.records = append(v.records, v.buffer...)
+	}
 	v.uploaded += len(v.buffer)
 	v.buffer = v.buffer[:0]
 }
 
 // Records returns the ground truth received by the collection server so
-// far (time-sorted by construction).
+// far (time-sorted by construction), or nil when Discard routed it to
+// the Tap instead.
 func (v *VantagePoint) Records() []trace.GroundTruth { return v.records }
 
 // PendingBuffered returns how many fixes are still waiting for

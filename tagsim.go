@@ -33,6 +33,7 @@ import (
 	"tagsim/internal/geo"
 	"tagsim/internal/load"
 	"tagsim/internal/mobility"
+	"tagsim/internal/pipeline"
 	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
 	"tagsim/internal/serve"
@@ -275,6 +276,59 @@ var (
 	NewHTTPTarget = load.NewHTTPTarget
 	// NewServiceTarget points the load generator directly at the stores.
 	NewServiceTarget = load.NewServiceTarget
+)
+
+// Streaming campaign pipeline: the live data path from the radio plane
+// to the serving store, the analysis plane, and disk. NewCampaign
+// streams by default; SetStreaming(false) is the batch-path escape
+// hatch (equivalence-tested byte-identical, figure for figure).
+type (
+	// Pipeline coordinates world emitters, the ordered merge, and the
+	// consumer fan-out of one streaming campaign.
+	Pipeline = pipeline.Pipeline
+	// PipelineConfig sizes the pipeline's batches and buffers.
+	PipelineConfig = pipeline.Config
+	// PipelineBatch is one ordered emission unit from one world.
+	PipelineBatch = pipeline.Batch
+	// PipelineConsumer receives the merged, ordered batch stream.
+	PipelineConsumer = pipeline.Consumer
+	// StoreIngester streams accepted reports into serving stores while
+	// the simulation runs (tagserve -live).
+	StoreIngester = pipeline.StoreIngester
+	// CampaignAccumulator builds the campaign analysis state — truth
+	// index, homes, per-vendor analysis indexes — incrementally from
+	// the stream, holding only distinct crawl records.
+	CampaignAccumulator = pipeline.CampaignAccumulator
+	// ReportSink streams the merged report log to disk in the columnar
+	// format.
+	ReportSink = pipeline.ReportSink
+	// ReportColumnarReader streams frames back from a columnar report
+	// log.
+	ReportColumnarReader = pipeline.ReportReader
+)
+
+var (
+	// NewPipeline builds a streaming pipeline for n worlds and starts
+	// its merge and consumer goroutines.
+	NewPipeline = pipeline.New
+	// NewStoreIngester builds the serving-store consumer.
+	NewStoreIngester = pipeline.NewStoreIngester
+	// NewCampaignAccumulator builds the analysis-state consumer.
+	NewCampaignAccumulator = pipeline.NewCampaignAccumulator
+	// NewReportSink builds the columnar disk-sink consumer.
+	NewReportSink = pipeline.NewReportSink
+	// WriteReportsColumnar one-shots a report slice into the columnar
+	// format (byte-identical to a streamed sink of the same sequence).
+	WriteReportsColumnar = pipeline.WriteReports
+	// ReadReportsColumnar reads a whole columnar report log.
+	ReadReportsColumnar = pipeline.ReadReports
+	// NewReportColumnarReader opens a streaming columnar log reader.
+	NewReportColumnarReader = pipeline.NewReportReader
+	// SetStreaming toggles the streaming campaign path (default on);
+	// disabling reverts NewCampaign to the historical batch path.
+	SetStreaming = pipeline.SetStreaming
+	// StreamingEnabled reports whether campaigns stream.
+	StreamingEnabled = pipeline.Streaming
 )
 
 // Tag hardware models.
