@@ -10,6 +10,7 @@ package tagsim_test
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -481,6 +482,142 @@ func BenchmarkStoreQuery(b *testing.B) {
 			wg.Wait()
 		})
 	}
+}
+
+// serveBenchFixture is the shared serving-plane world: two vendor
+// clouds over 256-shard stores (sized like a serving deployment: a few
+// tags per shard keeps both lock contention and the epoch-invalidation
+// blast radius of an accepted write small), 768 tags with ~192 retained reports
+// each, split across the vendors — the state a campaign restore leaves
+// behind. Built once; the mixed-load writes that later land on it are
+// almost all rejected by the vendor rate cap (the Figure 4 plateau), so
+// its size stays effectively fixed across sub-benchmarks.
+var (
+	serveBenchOnce     sync.Once
+	serveBenchServices map[tagsim.Vendor]*tagsim.CloudService
+	serveBenchTags     []string
+)
+
+func serveBenchFixture(b *testing.B) (map[tagsim.Vendor]*tagsim.CloudService, []string) {
+	b.Helper()
+	serveBenchOnce.Do(func() {
+		t0 := time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+		apple := tagsim.NewCloudServiceSharded(tagsim.VendorApple, 256)
+		samsung := tagsim.NewCloudServiceSharded(tagsim.VendorSamsung, 256)
+		apple.HistoryLimit, samsung.HistoryLimit = 256, 256
+		const nTags, nReports = 768, 192
+		serveBenchTags = make([]string, nTags)
+		for i := range serveBenchTags {
+			serveBenchTags[i] = fmt.Sprintf("serve-tag-%04d", i)
+			svc := apple
+			if i%3 == 2 {
+				svc = samsung
+			}
+			for k := 0; k < nReports; k++ {
+				at := t0.Add(time.Duration(k) * 4 * time.Minute)
+				svc.Ingest(tagsim.Report{T: at, HeardAt: at, TagID: serveBenchTags[i],
+					Vendor: svc.Vendor(), Pos: tagsim.LatLon{Lat: float64(i % 90), Lon: float64(k % 180)}})
+			}
+		}
+		serveBenchServices = map[tagsim.Vendor]*tagsim.CloudService{
+			tagsim.VendorApple: apple, tagsim.VendorSamsung: samsung,
+		}
+	})
+	return serveBenchServices, serveBenchTags
+}
+
+// BenchmarkServeRead sweeps the query plane across serving path
+// (svc: in-process stores; http: the full HTTP stack), read mix
+// (60/75/90% reads, writes making up the rest), client count, and read
+// mode (locked: the historical mutex path; lockfree: epoch views;
+// cached: epoch views + hot-tag cache). Reported metrics are the load
+// harness's req/s and p50/p95/p99 service latency; BENCH_serve.json
+// records the sweep.
+func BenchmarkServeRead(b *testing.B) {
+	services, tags := serveBenchFixture(b)
+	modes := []struct {
+		name   string
+		locked bool
+		cached bool
+	}{
+		{"locked", true, false},
+		{"lockfree", false, false},
+		{"cached", false, true},
+	}
+	for _, path := range []string{"svc", "http"} {
+		for _, mix := range []int{60, 75, 90} {
+			for _, clients := range []int{1, 4, 8} {
+				for _, mode := range modes {
+					name := fmt.Sprintf("path=%s/mix=%d/clients=%d/%s", path, mix, clients, mode.name)
+					b.Run(name, func(b *testing.B) {
+						wasLocked := tagsim.SetLockedReads(mode.locked)
+						wasCached := tagsim.SetHotCache(mode.cached)
+						defer func() {
+							tagsim.SetLockedReads(wasLocked)
+							tagsim.SetHotCache(wasCached)
+						}()
+						var target tagsim.LoadTarget
+						var shutdown func()
+						switch path {
+						case "svc":
+							if mode.cached {
+								target = tagsim.NewCachedServiceTarget(services)
+							} else {
+								target = tagsim.NewServiceTarget(services)
+							}
+						case "http":
+							ts := httptest.NewServer(tagsim.NewQueryServer(services))
+							target = tagsim.NewHTTPTarget(ts.URL)
+							shutdown = ts.Close
+						}
+						if shutdown != nil {
+							defer shutdown()
+						}
+						cfg := tagsim.LoadConfig{
+							Workers: clients, Requests: b.N, Seed: 7,
+							Tags: tags, Mix: tagsim.LoadReadMix(mix),
+						}
+						b.ResetTimer()
+						res, err := tagsim.RunLoad(cfg, target)
+						b.StopTimer()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if res.Errors > 0 {
+							b.Fatalf("%d request errors", res.Errors)
+						}
+						b.ReportMetric(res.Throughput(), "req/s")
+						b.ReportMetric(res.Latency.P50, "p50-ms")
+						b.ReportMetric(res.Latency.P95, "p95-ms")
+						b.ReportMetric(res.Latency.P99, "p99-ms")
+					})
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkServeOpenLoop drives the HTTP stack in open-loop mode at a
+// fixed offered rate: the coordinated-omission-honest view of tail
+// latency, reporting queue wait separately from service time.
+func BenchmarkServeOpenLoop(b *testing.B) {
+	services, tags := serveBenchFixture(b)
+	ts := httptest.NewServer(tagsim.NewQueryServer(services))
+	defer ts.Close()
+	target := tagsim.NewHTTPTarget(ts.URL)
+	cfg := tagsim.LoadConfig{
+		Workers: 4, Requests: b.N, Seed: 7, Tags: tags,
+		Mix: tagsim.LoadReadMix(90), OpenLoop: true, OfferedRate: 5000,
+	}
+	b.ResetTimer()
+	res, err := tagsim.RunLoad(cfg, target)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Throughput(), "req/s")
+	b.ReportMetric(res.QueueWait.P99, "queue-p99-ms")
+	b.ReportMetric(res.Latency.P99, "p99-ms")
 }
 
 // BenchmarkAblationCrossEcosystem compares the paper's combined-analysis

@@ -21,8 +21,18 @@
 //	tagserve -traces DIR                                      # …or load dumps
 //	tagserve -live                                            # …or stream live
 //	         [-shards N] [-history-limit N]
-//	         [-load N] [-requests N] [-direct]
+//	         [-load N] [-requests N] [-direct] [-writes PCT]
+//	         [-open-loop -rate R]
+//	         [-locked-reads] [-no-cache]
 //	         [-addr :8080]
+//
+// -writes dials the write share of the load mix (reads get the rest,
+// in the crawler's proportions). -open-loop switches the harness to
+// Poisson arrivals at -rate requests/second — the
+// coordinated-omission-honest view of tail latency. -locked-reads and
+// -no-cache are the serving plane's escape hatches: they fall back to
+// the mutex read path and bypass the hot-tag cache, the configuration
+// the lock-free epoch views and the cache are benchmarked against.
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"tagsim/internal/load"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/serve"
+	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
 
@@ -63,14 +74,32 @@ func main() {
 	loadWorkers := flag.Int("load", 8, "load-harness client workers (0 disables the self-drive report)")
 	requests := flag.Int("requests", 4000, "total load-harness requests")
 	direct := flag.Bool("direct", false, "drive the stores directly instead of over HTTP")
+	writes := flag.Int("writes", 0, "write (POST /v1/report) share of the load mix in percent")
+	openLoop := flag.Bool("open-loop", false, "open-loop Poisson arrivals instead of the closed loop")
+	rate := flag.Float64("rate", 2000, "open-loop offered arrival rate across all workers, requests/second")
+	lockedReads := flag.Bool("locked-reads", false, "escape hatch: serve reads under the shard locks instead of the epoch views")
+	noCache := flag.Bool("no-cache", false, "escape hatch: bypass the hot-tag query cache")
 	addr := flag.String("addr", "", "serve the query API on this address until SIGINT/SIGTERM (empty: exit after the load report)")
 	flag.Parse()
+
+	if *writes < 0 || *writes > 100 {
+		log.Fatalf("-writes must be in [0, 100], got %d", *writes)
+	}
+	store.SetLockedReads(*lockedReads)
+	cloud.SetHotCache(!*noCache)
+	loadCfg := load.Config{
+		Workers: *loadWorkers, Requests: *requests, Seed: *seed,
+		OpenLoop: *openLoop, OfferedRate: *rate,
+	}
+	if *writes > 0 {
+		loadCfg.Mix = load.ReadMix(100 - *writes)
+	}
 
 	if *live {
 		if *traces != "" {
 			log.Fatal("-live and -traces are mutually exclusive")
 		}
-		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, *loadWorkers, *requests, *direct, *addr); err != nil {
+		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, loadCfg, *direct, *addr); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -98,7 +127,7 @@ func main() {
 
 	handler := serve.NewServer(services)
 	if *loadWorkers > 0 {
-		res, err := driveLoad(handler, services, tags, *seed, *loadWorkers, *requests, *direct)
+		res, err := driveLoad(handler, services, tags, loadCfg, *direct)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -116,7 +145,7 @@ func main() {
 // reports flow batch by batch into the sharded stores, the load harness
 // reads concurrently, and the report prints both planes' sustained
 // rates.
-func runLive(seed int64, scale float64, workers, devices, shards, historyLimit, loadWorkers, requests int, direct bool, addr string) error {
+func runLive(seed int64, scale float64, workers, devices, shards, historyLimit int, loadCfg load.Config, direct bool, addr string) error {
 	services := newServices(shards, historyLimit)
 	ingester := pipeline.NewStoreIngester(services)
 	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices}
@@ -156,12 +185,12 @@ func runLive(seed int64, scale float64, workers, devices, shards, historyLimit, 
 	}()
 
 	handler := serve.NewServer(services)
-	if loadWorkers > 0 {
+	if loadCfg.Workers > 0 {
 		tags, err := awaitTags(services, simDone)
 		if err != nil {
 			return err
 		}
-		res, err := driveLoad(handler, services, tags, seed, loadWorkers, requests, direct)
+		res, err := driveLoad(handler, services, tags, loadCfg, direct)
 		if err != nil {
 			return err
 		}
@@ -186,18 +215,23 @@ func runLive(seed int64, scale float64, workers, devices, shards, historyLimit, 
 	return nil
 }
 
-// driveLoad runs the closed-loop harness against the handler (over
-// in-process HTTP, or the store surface with direct).
-func driveLoad(handler http.Handler, services map[trace.Vendor]*cloud.Service, tags []string, seed int64, workers, requests int, direct bool) (*load.Result, error) {
-	cfg := load.Config{Workers: workers, Requests: requests, Seed: seed, Tags: tags}
+// driveLoad runs the load harness against the handler (over in-process
+// HTTP, or the store surface with direct — cached when the hot-tag
+// cache is on, mirroring what the HTTP query plane deploys).
+func driveLoad(handler http.Handler, services map[trace.Vendor]*cloud.Service, tags []string, cfg load.Config, direct bool) (*load.Result, error) {
+	cfg.Tags = tags
 	var target load.Target
 	if direct {
-		log.Printf("load: %d workers x store surface (no HTTP)", workers)
-		target = load.NewServiceTarget(services)
+		log.Printf("load: %d workers x store surface (no HTTP)", cfg.Workers)
+		if cloud.HotCacheEnabled() {
+			target = load.NewCachedServiceTarget(services)
+		} else {
+			target = load.NewServiceTarget(services)
+		}
 	} else {
 		ts := httptest.NewServer(handler)
 		defer ts.Close()
-		log.Printf("load: %d workers over HTTP at %s", workers, ts.URL)
+		log.Printf("load: %d workers over HTTP at %s", cfg.Workers, ts.URL)
 		target = load.NewHTTPTarget(ts.URL)
 	}
 	return load.Run(cfg, target)

@@ -1,0 +1,245 @@
+package cloud
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+var cacheBase = time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+
+func cacheServices() (map[trace.Vendor]*Service, *Service, *Service) {
+	apple := NewService(trace.VendorApple)
+	samsung := NewService(trace.VendorSamsung)
+	return map[trace.Vendor]*Service{
+		trace.VendorApple: apple, trace.VendorSamsung: samsung,
+	}, apple, samsung
+}
+
+// TestHotCacheNeverStale is the invalidation property: after ANY state
+// change to a tag's shard — accepted ingest, restore, registration —
+// the very next cached read reflects it, because the entry's epoch no
+// longer matches. A single-slot cache maximizes collisions, so the
+// property also holds through constant eviction.
+func TestHotCacheNeverStale(t *testing.T) {
+	services, apple, samsung := cacheServices()
+	direct := NewHotCache(services, 1)
+	was := SetHotCache(false)
+	defer SetHotCache(was)
+	SetHotCache(true)
+
+	cache := NewHotCache(services, 1)
+	tags := []string{"hot-a", "hot-b", "hot-c"}
+	for step := 0; step < 60; step++ {
+		id := tags[step%len(tags)]
+		at := cacheBase.Add(time.Duration(step) * 4 * time.Minute)
+		svc := apple
+		if step%2 == 1 {
+			svc = samsung
+		}
+		switch step % 5 {
+		case 3: // restore path
+			svc.Restore([]trace.Report{{T: at, TagID: id, Vendor: svc.Vendor(),
+				Pos: geo.LatLon{Lat: float64(step)}}})
+		case 4: // rejected ingest: no state change, cache may keep serving
+			svc.Ingest(trace.Report{T: cacheBase, TagID: id, Vendor: svc.Vendor()})
+		default:
+			svc.Ingest(trace.Report{T: at, HeardAt: at, TagID: id, Vendor: svc.Vendor(),
+				Pos: geo.LatLon{Lon: float64(step)}})
+		}
+		// Every read after every write: cached answers must equal the
+		// direct (disabled-path) computation exactly.
+		for _, q := range tags {
+			SetHotCache(false)
+			wPos, wAt, wFound, wKnown := direct.LastSeen(q)
+			wTrack, _ := direct.Track(q)
+			SetHotCache(true)
+			gPos, gAt, gFound, gKnown := cache.LastSeen(q)
+			if gPos != wPos || !gAt.Equal(wAt) || gFound != wFound || gKnown != wKnown {
+				t.Fatalf("step %d: cached lastknown(%s) = (%v,%v,%v,%v), want (%v,%v,%v,%v)",
+					step, q, gPos, gAt, gFound, gKnown, wPos, wAt, wFound, wKnown)
+			}
+			gTrack, _ := cache.Track(q)
+			if !reflect.DeepEqual(gTrack, wTrack) {
+				t.Fatalf("step %d: cached track(%s) has %d reports, want %d", step, q, len(gTrack), len(wTrack))
+			}
+			if cache.Known(q) != wKnown {
+				t.Fatalf("step %d: cached known(%s) != %v", step, q, wKnown)
+			}
+			for _, limit := range []int{0, 2, -1} {
+				SetHotCache(false)
+				wHist, _ := direct.HistoryTail(q, limit)
+				SetHotCache(true)
+				gHist, gHistKnown := cache.HistoryTail(q, limit)
+				if gHistKnown != wKnown || !reflect.DeepEqual(gHist, wHist) {
+					t.Fatalf("step %d: cached history(%s, %d) has %d reports (known=%v), want %d (known=%v)",
+						step, q, limit, len(gHist), gHistKnown, len(wHist), wKnown)
+				}
+			}
+		}
+	}
+	// Unknown tags stay unknown through the cache.
+	if _, _, _, known := cache.LastSeen("ghost"); known {
+		t.Error("cache invented a tag")
+	}
+	if _, known := cache.Track("ghost"); known {
+		t.Error("cache invented a track")
+	}
+	if hist, known := cache.HistoryTail("ghost", 5); known || hist != nil {
+		t.Error("cache invented a history")
+	}
+	// Registration alone flips known without a fix — and invalidates.
+	apple.Register("paired-quiet")
+	if _, _, found, known := cache.LastSeen("paired-quiet"); !known || found {
+		t.Error("registered-but-quiet tag must be known with no fix")
+	}
+}
+
+// TestHotCacheHitServesWithoutStores: a repeated query on an unchanged
+// tag is served from the slot — observable through the lazy track fill
+// sharing the last-known entry.
+func TestHotCacheHitServesWithoutStores(t *testing.T) {
+	services, apple, _ := cacheServices()
+	was := SetHotCache(true)
+	defer SetHotCache(was)
+	at := cacheBase
+	apple.Ingest(trace.Report{T: at, TagID: "solo", Vendor: trace.VendorApple,
+		Pos: geo.LatLon{Lat: 1, Lon: 2}})
+
+	cache := NewHotCache(services, 8)
+	_, seenAt, found, known := cache.LastSeen("solo")
+	if !known || !found || !seenAt.Equal(at) {
+		t.Fatalf("lastknown fill = (%v, %v, %v)", seenAt, found, known)
+	}
+	track, known := cache.Track("solo") // lazy fill onto the same entry
+	if !known || len(track) != 1 {
+		t.Fatalf("track fill = %d reports, known=%v", len(track), known)
+	}
+	// Same answers again, now from the filled slot.
+	if _, _, f2, k2 := cache.LastSeen("solo"); !f2 || !k2 {
+		t.Error("cached last-known hit lost the fix")
+	}
+	if tr2, _ := cache.Track("solo"); len(tr2) != 1 {
+		t.Error("cached track hit lost the report")
+	}
+}
+
+// TestHotCacheRaced races cached readers against live ingest on a
+// single-slot cache (maximum eviction pressure): a reader must never
+// observe a tag's last-seen time move backward — the cached answer is
+// never staler than the epoch it was published under. Run under -race.
+func TestHotCacheRaced(t *testing.T) {
+	services, apple, samsung := cacheServices()
+	was := SetHotCache(true)
+	defer SetHotCache(was)
+	cache := NewHotCache(services, 1)
+	tags := []string{"raced-a", "raced-b"}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w, svc := range []*Service{apple, samsung} {
+		wg.Add(1)
+		go func(w int, svc *Service) {
+			defer wg.Done()
+			for step := 0; step < 300; step++ {
+				at := cacheBase.Add(time.Duration(step*240+w) * time.Second)
+				svc.Ingest(trace.Report{T: at, TagID: tags[step%len(tags)],
+					Vendor: svc.Vendor(), Pos: geo.LatLon{Lat: float64(step)}})
+			}
+		}(w, svc)
+	}
+	errs := make(chan string, 4)
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func(r int) {
+			defer rg.Done()
+			lastAt := map[string]time.Time{}
+			for !stop.Load() {
+				id := tags[r%len(tags)]
+				if _, at, found, _ := cache.LastSeen(id); found {
+					if at.Before(lastAt[id]) {
+						errs <- fmt.Sprintf("cached last-seen of %s went backward: %v -> %v", id, lastAt[id], at)
+						return
+					}
+					lastAt[id] = at
+				}
+				cache.Track(id)
+				cache.HistoryTail(id, 3)
+				cache.Known(id)
+			}
+		}(r)
+	}
+	wg.Wait()
+	stop.Store(true)
+	rg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// Quiesced: cached equals direct for every tag.
+	for _, id := range tags {
+		SetHotCache(false)
+		_, wantAt, _, _ := cache.LastSeen(id)
+		wantTrack, _ := cache.Track(id)
+		wantHist, _ := cache.HistoryTail(id, 3)
+		SetHotCache(true)
+		_, gotAt, _, _ := cache.LastSeen(id)
+		gotTrack, _ := cache.Track(id)
+		gotHist, _ := cache.HistoryTail(id, 3)
+		if !gotAt.Equal(wantAt) || !reflect.DeepEqual(gotTrack, wantTrack) || !reflect.DeepEqual(gotHist, wantHist) {
+			t.Errorf("%s: cached read diverged from direct after the race", id)
+		}
+	}
+}
+
+// TestMergedHistoryTail pins the pushdown merge against the full
+// merge-then-slice computation.
+func TestMergedHistoryTail(t *testing.T) {
+	_, apple, samsung := cacheServices()
+	combined := Combined{apple, samsung}
+	id := "tail-tag"
+	for k := 0; k < 7; k++ {
+		at := cacheBase.Add(time.Duration(k) * 4 * time.Minute)
+		svc := apple
+		if k%3 == 1 {
+			svc = samsung
+		}
+		svc.Ingest(trace.Report{T: at, HeardAt: at, TagID: id, Vendor: svc.Vendor(),
+			Pos: geo.LatLon{Lat: float64(k)}})
+	}
+	full := combined.MergedHistory(id)
+	if len(full) != 7 {
+		t.Fatalf("merged history = %d reports, want 7", len(full))
+	}
+	for _, limit := range []int{-1, 0, 1, 3, 7, 100} {
+		got := combined.MergedHistoryTail(id, limit)
+		want := full
+		if limit >= 0 && limit < len(full) {
+			want = full[len(full)-limit:]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("limit=%d: %d reports, want %d", limit, len(got), len(want))
+		}
+		for i := range got {
+			if !got[i].T.Equal(want[i].T) {
+				t.Fatalf("limit=%d: report %d at %v, want %v", limit, i, got[i].T, want[i].T)
+			}
+		}
+	}
+	if got := combined.MergedHistoryTail(id, 0); got == nil {
+		t.Error("limit 0 with history must be empty non-nil")
+	}
+	if got := combined.MergedHistoryTail("ghost", 0); got != nil {
+		t.Error("limit 0 without history must be nil")
+	}
+	if got := combined.MergedHistoryTail("ghost", 3); got != nil {
+		t.Error("unknown tag tail must be nil")
+	}
+}

@@ -17,6 +17,7 @@ package cloud
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"tagsim/internal/geo"
@@ -89,6 +90,12 @@ type View interface {
 	LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool)
 }
 
+// sortServices orders services by vendor — the deterministic iteration
+// order the query plane probes and merges in.
+func sortServices(svcs []*Service) {
+	sort.Slice(svcs, func(i, j int) bool { return svcs[i].Vendor() < svcs[j].Vendor() })
+}
+
 // Combined merges several services into the paper's emulated unified
 // ecosystem: the freshest last-seen across services wins.
 type Combined []*Service
@@ -112,5 +119,58 @@ func (c Combined) MergedHistory(tagID string) []trace.Report {
 		out = append(out, s.History(tagID)...)
 	}
 	trace.SortByTime(out)
+	return out
+}
+
+// MergedHistoryTail returns the newest limit reports of the merged
+// cross-vendor history (limit < 0: everything, i.e. MergedHistory). It
+// pushes the cap down into each store — per-service RecentHistory
+// copies only its newest limit entries — so a capped query over long
+// histories never materializes the full rings. Identical to slicing
+// MergedHistory whenever each service's per-tag history is time-sorted,
+// which ingest guarantees (acceptance only ever advances a tag's clock)
+// and Restore callers are documented to feed. Like the endpoint it
+// serves, limit 0 distinguishes "some history exists" (empty non-nil)
+// from none at all (nil).
+func (c Combined) MergedHistoryTail(tagID string, limit int) []trace.Report {
+	if limit < 0 {
+		return c.MergedHistory(tagID)
+	}
+	if limit == 0 {
+		for _, s := range c {
+			if s.RecentHistory(tagID, 0) != nil {
+				return []trace.Report{}
+			}
+		}
+		return nil
+	}
+	// Most tags live in exactly one vendor's store. RecentHistory
+	// already returns a private, time-sorted copy, so a single
+	// contributor's slice is the answer as-is — no second copy, no
+	// re-sort. Only a tag reported into several ecosystems pays the
+	// merge.
+	var out []trace.Report
+	merged := false
+	for _, s := range c {
+		r := s.RecentHistory(tagID, limit)
+		if len(r) == 0 {
+			continue
+		}
+		if out == nil {
+			out = r
+			continue
+		}
+		out = append(out, r...)
+		merged = true
+	}
+	if out == nil {
+		return nil
+	}
+	if merged {
+		trace.SortByTime(out)
+		if limit < len(out) {
+			out = out[len(out)-limit:]
+		}
+	}
 	return out
 }

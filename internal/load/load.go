@@ -1,9 +1,20 @@
-// Package load is the deterministic closed-loop load generator for the
-// serving subsystem: N workers issue back-to-back queries against a
-// Target — the store surface directly, or the HTTP query API — with a
-// Zipf-skewed tag popularity and a weighted operation mix modeled on
-// the paper's crawlers (last-known polls dominate, history/track
-// reconstructions ride along).
+// Package load is the deterministic load generator for the serving
+// subsystem: N workers issue queries against a Target — the store
+// surface directly, or the HTTP query API — with a Zipf-skewed tag
+// popularity and a weighted operation mix modeled on the paper's
+// crawlers (last-known polls dominate, history/track reconstructions
+// ride along, and an optional write share drives the report ingest
+// path for mixed read/write benchmarks).
+//
+// The harness runs in two loop disciplines. The default closed loop
+// issues back-to-back requests per worker — the right shape for
+// measuring peak capacity, but under overload it coordinates with the
+// server (a slow response delays the next request), hiding queueing
+// delay from the tail quantiles. The open-loop mode (Config.OpenLoop)
+// instead fixes a Poisson arrival schedule at Config.OfferedRate and
+// never lets a slow response push later arrivals back, so overload p99
+// is honest: the result reports achieved-vs-offered rate, and
+// queue-wait (schedule slip) separately from service latency.
 //
 // Determinism follows the simulator's named-stream discipline: worker w
 // draws from an RNG seeded by hashing (seed, "load/worker/w"), so the
@@ -13,6 +24,7 @@
 package load
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
@@ -20,11 +32,15 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tagsim/internal/cloud"
+	"tagsim/internal/geo"
 	"tagsim/internal/stats"
 	"tagsim/internal/trace"
 )
@@ -41,10 +57,12 @@ const (
 	OpTrack
 	// OpStats reads the service counters.
 	OpStats
+	// OpReport ingests a synthesized crowd report (the write path).
+	OpReport
 	numOps
 )
 
-var opNames = [...]string{"lastknown", "history", "track", "stats"}
+var opNames = [...]string{"lastknown", "history", "track", "stats", "report"}
 
 // String returns the endpoint-style op name.
 func (o Op) String() string {
@@ -55,17 +73,34 @@ func (o Op) String() string {
 }
 
 // Mix weighs the operation types in the generated stream. Zero values
-// fall back to DefaultMix.
+// fall back to DefaultMix. Report is the write share: the serving
+// benches use it to dial read mixes (a 90% read mix is Report at 10%
+// of the total weight).
 type Mix struct {
-	LastKnown, History, Track, Stats int
+	LastKnown, History, Track, Stats, Report int
 }
 
 // DefaultMix mirrors the paper's crawler behavior: per-minute last-known
 // polls dominate, with occasional history/track reconstructions and a
-// trickle of stats reads.
+// trickle of stats reads. Crawlers never write, so Report is 0.
 func DefaultMix() Mix { return Mix{LastKnown: 90, History: 5, Track: 4, Stats: 1} }
 
-func (m Mix) total() int { return m.LastKnown + m.History + m.Track + m.Stats }
+// ReadMix scales DefaultMix's read weights to readPct percent of the
+// total and gives the remaining weight to writes — the 60/75/90% read
+// mixes of the serving benchmarks.
+func ReadMix(readPct int) Mix {
+	m := DefaultMix()
+	m.History = m.History * readPct / 100
+	m.Track = m.Track * readPct / 100
+	m.Stats = m.Stats * readPct / 100
+	// Rounding remainder lands on the dominant op, keeping the total at
+	// exactly 100 so readPct is the precise read share.
+	m.LastKnown = readPct - m.History - m.Track - m.Stats
+	m.Report = 100 - readPct
+	return m
+}
+
+func (m Mix) total() int { return m.LastKnown + m.History + m.Track + m.Stats + m.Report }
 
 // pick maps a draw in [0, total) to an op.
 func (m Mix) pick(r int) Op {
@@ -76,8 +111,10 @@ func (m Mix) pick(r int) Op {
 		return OpHistory
 	case r < m.LastKnown+m.History+m.Track:
 		return OpTrack
-	default:
+	case r < m.LastKnown+m.History+m.Track+m.Stats:
 		return OpStats
+	default:
+		return OpReport
 	}
 }
 
@@ -98,6 +135,15 @@ type Config struct {
 	ZipfS float64
 	// Mix weighs the operations (zero value: DefaultMix).
 	Mix Mix
+	// OpenLoop switches from the closed loop to open-loop Poisson
+	// arrivals: each worker follows a fixed exponential-interarrival
+	// schedule at OfferedRate/Workers, and a slow response never delays
+	// later arrivals — the loop discipline that keeps overload tail
+	// latency honest (no coordinated omission).
+	OpenLoop bool
+	// OfferedRate is the aggregate arrival rate in requests/second
+	// across all workers. Required (> 0) when OpenLoop is set.
+	OfferedRate float64
 }
 
 func (c *Config) defaults() error {
@@ -116,14 +162,24 @@ func (c *Config) defaults() error {
 	if c.Mix.total() == 0 {
 		c.Mix = DefaultMix()
 	}
-	if c.Mix.LastKnown < 0 || c.Mix.History < 0 || c.Mix.Track < 0 || c.Mix.Stats < 0 || c.Mix.total() <= 0 {
+	if c.Mix.LastKnown < 0 || c.Mix.History < 0 || c.Mix.Track < 0 || c.Mix.Stats < 0 || c.Mix.Report < 0 || c.Mix.total() <= 0 {
 		return fmt.Errorf("load: mix weights must be non-negative with a positive sum, got %+v", c.Mix)
+	}
+	if c.OpenLoop && c.OfferedRate <= 0 {
+		return fmt.Errorf("load: open loop requires OfferedRate > 0, got %v", c.OfferedRate)
 	}
 	if len(c.Tags) == 0 {
 		return fmt.Errorf("load: no tags to query")
 	}
 	return nil
 }
+
+// HistoryCap is the newest-N window the harness's history queries ask
+// for — the depth of the companion app's history pane. It rides the
+// query API's limit pushdown: a capped query copies only the newest N
+// reports out of the store rings. Track queries stay uncapped (the
+// cross-vendor track reconstruction is the full merge by definition).
+const HistoryCap = 25
 
 // Target executes one operation against a serving backend and returns
 // how many report records the operation touched (history/track lengths,
@@ -144,8 +200,18 @@ type Result struct {
 	// PerOp counts issued requests by operation — deterministic for a
 	// given config.
 	PerOp [numOps]int
-	// Latency summarizes per-request wall-clock latency in milliseconds.
+	// Latency summarizes per-request service latency in milliseconds —
+	// the time the target spent on the request, excluding (in open-loop
+	// mode) any wait behind the arrival schedule.
 	Latency stats.QuantileSummary
+	// OpenLoop and OfferedRate echo the run's loop discipline.
+	OpenLoop    bool
+	OfferedRate float64
+	// QueueWait summarizes, in open-loop mode, how far behind its
+	// scheduled arrival each request started (milliseconds): the
+	// queueing delay a closed loop silently absorbs into the arrival
+	// process. Zero-valued for closed-loop runs.
+	QueueWait stats.QuantileSummary
 }
 
 // Throughput returns requests per wall-clock second.
@@ -174,6 +240,12 @@ func (r *Result) Render() string {
 		r.Throughput(), r.ReportThroughput(), r.Reports)
 	fmt.Fprintf(&b, "  latency ms  p50=%.3f  p95=%.3f  p99=%.3f\n",
 		r.Latency.P50, r.Latency.P95, r.Latency.P99)
+	if r.OpenLoop {
+		fmt.Fprintf(&b, "  open loop   offered=%.0f req/s achieved=%.0f req/s (%.1f%%)\n",
+			r.OfferedRate, r.Throughput(), 100*r.Throughput()/r.OfferedRate)
+		fmt.Fprintf(&b, "  queue ms    p50=%.3f  p95=%.3f  p99=%.3f\n",
+			r.QueueWait.P50, r.QueueWait.P95, r.QueueWait.P99)
+	}
 	fmt.Fprintf(&b, "  ops        ")
 	for op := Op(0); op < numOps; op++ {
 		fmt.Fprintf(&b, " %s=%d", op, r.PerOp[op])
@@ -190,38 +262,102 @@ func workerRNG(seed int64, w int) *rand.Rand {
 	return rand.New(rand.NewSource(int64(h.Sum64())))
 }
 
-// Run drives the target with cfg.Requests closed-loop requests across
-// cfg.Workers workers and reports throughput plus latency quantiles.
-// The (op, tag) sequence is deterministic per config; an error from the
-// target counts and the worker moves on.
+// arrivalRNG is worker w's open-loop interarrival stream — separate
+// from the op/tag stream so the issued (op, tag) sequence is the same
+// function of the config in both loop disciplines.
+func arrivalRNG(seed int64, w int) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/load/arrival/%d", seed, w)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Run drives the target with cfg.Requests requests across cfg.Workers
+// workers — back-to-back in the default closed loop, on a Poisson
+// arrival schedule in open-loop mode — and reports throughput plus
+// latency quantiles. The (op, tag) sequence is deterministic per
+// config, and identical between the two loop disciplines; an error from
+// the target counts and the worker moves on.
 func Run(cfg Config, target Target) (*Result, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
 	type workerOut struct {
 		latencies []float64
+		waits     []float64
 		perOp     [numOps]int
 		errors    int
 		reports   int
 	}
 	outs := make([]workerOut, cfg.Workers)
-	var wg sync.WaitGroup
-	begin := time.Now()
+	// Pregenerate each worker's plan — the (op, tag) sequence and, in
+	// open-loop mode, the Poisson arrival schedule — before the clock
+	// starts. The draws happen in exactly the order the issuing loop
+	// would make them, so the sequences are the same pure function of
+	// the config; materializing them up front just keeps generator cost
+	// (zipf and mix draws) out of the measured request path. The plan
+	// holds tag indices, not strings, so it adds no pointer-scan load
+	// while the run's garbage collector is under benchmark.
+	type workerPlan struct {
+		ops   []Op
+		tags  []uint32
+		sched []time.Duration // cumulative arrival offsets (open loop)
+	}
+	plans := make([]workerPlan, cfg.Workers)
+	// Per-worker arrival rate: worker streams are independent Poisson
+	// processes, and the superposition offers cfg.OfferedRate.
+	perWorker := cfg.OfferedRate / float64(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		n := cfg.Requests / cfg.Workers
 		if w < cfg.Requests%cfg.Workers {
 			n++
 		}
-		wg.Add(1)
-		go func(w, n int) {
-			defer wg.Done()
-			rng := workerRNG(cfg.Seed, w)
-			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Tags)-1))
-			out := &outs[w]
-			out.latencies = make([]float64, 0, n)
+		rng := workerRNG(cfg.Seed, w)
+		zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(cfg.Tags)-1))
+		p := &plans[w]
+		p.ops = make([]Op, n)
+		p.tags = make([]uint32, n)
+		for i := 0; i < n; i++ {
+			p.ops[i] = cfg.Mix.pick(rng.Intn(cfg.Mix.total()))
+			p.tags[i] = uint32(zipf.Uint64())
+		}
+		if cfg.OpenLoop {
+			// Exponential interarrivals from the dedicated arrival
+			// stream: the schedule is fixed up front by the RNG, never
+			// pushed back by slow responses.
+			arr := arrivalRNG(cfg.Seed, w)
+			p.sched = make([]time.Duration, n)
+			var sched time.Duration
 			for i := 0; i < n; i++ {
-				op := cfg.Mix.pick(rng.Intn(cfg.Mix.total()))
-				tag := cfg.Tags[zipf.Uint64()]
+				sched += time.Duration(arr.ExpFloat64() / perWorker * float64(time.Second))
+				p.sched[i] = sched
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	begin := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := &plans[w]
+			out := &outs[w]
+			out.latencies = make([]float64, 0, len(p.ops))
+			if cfg.OpenLoop {
+				out.waits = make([]float64, 0, len(p.ops))
+			}
+			for i, op := range p.ops {
+				tag := cfg.Tags[p.tags[i]]
+				if cfg.OpenLoop {
+					due := begin.Add(p.sched[i])
+					if d := time.Until(due); d > 0 {
+						time.Sleep(d)
+					}
+					wait := time.Since(due) // schedule slip = queueing delay
+					if wait < 0 {
+						wait = 0
+					}
+					out.waits = append(out.waits, float64(wait)/float64(time.Millisecond))
+				}
 				t := time.Now()
 				reports, err := target.Do(op, tag)
 				out.latencies = append(out.latencies, float64(time.Since(t))/float64(time.Millisecond))
@@ -231,13 +367,17 @@ func Run(cfg Config, target Target) (*Result, error) {
 					out.errors++
 				}
 			}
-		}(w, n)
+		}(w)
 	}
 	wg.Wait()
-	res := &Result{Requests: cfg.Requests, Workers: cfg.Workers, Elapsed: time.Since(begin)}
-	var all []float64
+	res := &Result{
+		Requests: cfg.Requests, Workers: cfg.Workers, Elapsed: time.Since(begin),
+		OpenLoop: cfg.OpenLoop, OfferedRate: cfg.OfferedRate,
+	}
+	var all, waits []float64
 	for _, out := range outs {
 		all = append(all, out.latencies...)
+		waits = append(waits, out.waits...)
 		res.Errors += out.errors
 		res.Reports += out.reports
 		for op, n := range out.perOp {
@@ -245,30 +385,90 @@ func Run(cfg Config, target Target) (*Result, error) {
 		}
 	}
 	res.Latency = stats.Quantiles(all)
+	if cfg.OpenLoop {
+		res.QueueWait = stats.Quantiles(waits)
+	}
 	return res, nil
 }
 
+// reportSynth generates the write stream for OpReport: a shared,
+// goroutine-safe sequence of synthetic crowd reports whose timestamps
+// step forward from a base instant, cycling vendors round-robin. With
+// the services' per-tag rate cap (cloud.DefaultMinUpdateInterval) most
+// writes to a hot tag are rejected — exactly the plateau regime of the
+// paper's Figure 4 — so a mixed read/write run exercises both the
+// accept and reject ingest paths.
+type reportSynth struct {
+	base    time.Time
+	step    time.Duration
+	vendors []trace.Vendor
+	n       atomic.Uint64
+}
+
+func newReportSynth(vendors []trace.Vendor) *reportSynth {
+	if len(vendors) == 0 {
+		vendors = []trace.Vendor{trace.VendorApple, trace.VendorSamsung}
+	}
+	return &reportSynth{base: time.Now(), step: 50 * time.Millisecond, vendors: vendors}
+}
+
+func (s *reportSynth) next(tagID string) trace.Report {
+	n := s.n.Add(1) - 1
+	t := s.base.Add(time.Duration(n) * s.step)
+	return trace.Report{
+		T: t, HeardAt: t, TagID: tagID,
+		Vendor:     s.vendors[int(n%uint64(len(s.vendors)))],
+		ReporterID: "load/writer",
+		Pos:        geo.LatLon{Lat: 40 + float64(n%1000)/1e4, Lon: -74 - float64(n%1000)/1e4},
+		RSSI:       -60,
+	}
+}
+
 // ServiceTarget drives the store surface directly (no HTTP): the
-// shared-memory baseline the HTTP layer is compared against.
+// shared-memory baseline the HTTP layer is compared against. Services
+// are probed and merged in sorted vendor order, like the query API.
 type ServiceTarget struct {
 	services map[trace.Vendor]*cloud.Service
+	svcs     []*cloud.Service // sorted by vendor
 	combined cloud.Combined
+	cache    *cloud.HotCache // nil on the direct target
+	writes   *reportSynth
 }
 
 // NewServiceTarget builds a direct target over per-vendor services.
 func NewServiceTarget(services map[trace.Vendor]*cloud.Service) *ServiceTarget {
 	t := &ServiceTarget{services: services}
-	for _, svc := range services {
-		t.combined = append(t.combined, svc)
+	var vendors []trace.Vendor
+	for v, svc := range services {
+		t.svcs = append(t.svcs, svc)
+		vendors = append(vendors, v)
 	}
+	sort.Slice(t.svcs, func(i, j int) bool { return t.svcs[i].Vendor() < t.svcs[j].Vendor() })
+	sort.Slice(vendors, func(i, j int) bool { return vendors[i] < vendors[j] })
+	t.combined = cloud.Combined(t.svcs)
+	t.writes = newReportSynth(vendors)
+	return t
+}
+
+// NewCachedServiceTarget is NewServiceTarget with the query plane's
+// hot-tag cache in front of last-known/track/known — the in-process
+// equivalent of what serve.NewServer deploys, for benchmarking the
+// cache without the HTTP layer.
+func NewCachedServiceTarget(services map[trace.Vendor]*cloud.Service) *ServiceTarget {
+	t := NewServiceTarget(services)
+	t.cache = cloud.NewHotCache(services, 0)
 	return t
 }
 
 // known answers whether any backing service has the tag — mirroring
 // the HTTP layer's 404 for unknown tags, so error rates stay
-// comparable between the direct and HTTP targets.
+// comparable between the direct and HTTP targets. Probes short-circuit
+// in sorted vendor order.
 func (t *ServiceTarget) known(tagID string) bool {
-	for _, svc := range t.services {
+	if t.cache != nil {
+		return t.cache.Known(tagID)
+	}
+	for _, svc := range t.svcs {
 		if svc.Known(tagID) {
 			return true
 		}
@@ -278,28 +478,62 @@ func (t *ServiceTarget) known(tagID string) bool {
 
 // Do implements Target against the in-process stores.
 func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
-	if op != OpStats && !t.known(tagID) {
-		return 0, fmt.Errorf("load: unknown tag %q", tagID)
+	switch op {
+	case OpStats:
+		for _, svc := range t.svcs {
+			svc.Stats()
+		}
+		return 0, nil
+	case OpReport:
+		rep := t.writes.next(tagID)
+		if t.services[rep.Vendor].Ingest(rep) {
+			return 1, nil
+		}
+		return 0, nil // rate-capped, not an error
 	}
 	switch op {
 	case OpLastKnown:
+		if t.cache != nil {
+			_, _, found, known := t.cache.LastSeen(tagID)
+			if !known {
+				return 0, fmt.Errorf("load: unknown tag %q", tagID)
+			}
+			if found {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		if !t.known(tagID) {
+			return 0, fmt.Errorf("load: unknown tag %q", tagID)
+		}
 		if _, _, ok := t.combined.LastSeen(tagID); ok {
 			return 1, nil
 		}
 		return 0, nil
 	case OpHistory:
-		n := 0
-		for _, svc := range t.services {
-			n += len(svc.History(tagID))
+		if t.cache != nil {
+			hist, known := t.cache.HistoryTail(tagID, HistoryCap)
+			if !known {
+				return 0, fmt.Errorf("load: unknown tag %q", tagID)
+			}
+			return len(hist), nil
 		}
-		return n, nil
+		if !t.known(tagID) {
+			return 0, fmt.Errorf("load: unknown tag %q", tagID)
+		}
+		return len(t.combined.MergedHistoryTail(tagID, HistoryCap)), nil
 	case OpTrack:
-		return len(t.combined.MergedHistory(tagID)), nil
-	case OpStats:
-		for _, svc := range t.services {
-			svc.Stats()
+		if t.cache != nil {
+			track, known := t.cache.Track(tagID)
+			if !known {
+				return 0, fmt.Errorf("load: unknown tag %q", tagID)
+			}
+			return len(track), nil
 		}
-		return 0, nil
+		if !t.known(tagID) {
+			return 0, fmt.Errorf("load: unknown tag %q", tagID)
+		}
+		return len(t.combined.MergedHistory(tagID)), nil
 	default:
 		return 0, fmt.Errorf("load: unknown op %v", op)
 	}
@@ -312,6 +546,8 @@ type HTTPTarget struct {
 	// Client defaults to a connection-pooling client sized for the
 	// worker count.
 	Client *http.Client
+
+	writes *reportSynth
 }
 
 // NewHTTPTarget builds an HTTP target for the query API at base.
@@ -326,7 +562,11 @@ func NewHTTPTarget(base string) *HTTPTarget {
 		tr = &http.Transport{}
 	}
 	tr.MaxIdleConnsPerHost = 64
-	return &HTTPTarget{Base: strings.TrimRight(base, "/"), Client: &http.Client{Transport: tr}}
+	return &HTTPTarget{
+		Base:   strings.TrimRight(base, "/"),
+		Client: &http.Client{Transport: tr},
+		writes: newReportSynth(nil),
+	}
 }
 
 // Do implements Target over the HTTP query API. Queries use the
@@ -339,11 +579,13 @@ func (t *HTTPTarget) Do(op Op, tagID string) (int, error) {
 	case OpLastKnown:
 		path = "/v1/lastknown?tag=" + url.QueryEscape(tagID)
 	case OpHistory:
-		path = "/v1/history?tag=" + url.QueryEscape(tagID)
+		path = "/v1/history?limit=" + strconv.Itoa(HistoryCap) + "&tag=" + url.QueryEscape(tagID)
 	case OpTrack:
 		path = "/v1/track?tag=" + url.QueryEscape(tagID)
 	case OpStats:
 		path = "/v1/stats"
+	case OpReport:
+		return t.post(tagID)
 	default:
 		return 0, fmt.Errorf("load: unknown op %v", op)
 	}
@@ -361,6 +603,36 @@ func (t *HTTPTarget) Do(op Op, tagID string) (int, error) {
 		return reports, fmt.Errorf("load: %s: %w", path, err)
 	}
 	return reports, nil
+}
+
+// post sends one synthesized report to POST /v1/report; an accepted
+// write counts one report record, a rate-capped rejection zero.
+func (t *HTTPTarget) post(tagID string) (int, error) {
+	body, err := json.Marshal(t.writes.next(tagID))
+	if err != nil {
+		return 0, fmt.Errorf("load: encode report: %w", err)
+	}
+	resp, err := t.Client.Post(t.Base+"/v1/report", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return 0, fmt.Errorf("load: /v1/report: status %d", resp.StatusCode)
+	}
+	var v struct {
+		Accepted bool `json:"accepted"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return 0, fmt.Errorf("load: /v1/report: %w", err)
+	}
+	if v.Accepted {
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // countReports counts the report records in a 200 response body.

@@ -176,19 +176,20 @@ func fixtureServices() map[trace.Vendor]*cloud.Service {
 // TestServiceTarget drives the stores directly.
 func TestServiceTarget(t *testing.T) {
 	target := NewServiceTarget(fixtureServices())
-	for op := Op(0); op < numOps; op++ {
-		if _, err := target.Do(op, "airtag-1"); err != nil {
-			t.Errorf("%v: %v", op, err)
-		}
-	}
 	// The fixture accepts all 5 reports per tag (4-minute spacing clears
 	// the rate cap), so history of a known tag serves 5 records and
-	// lastknown 1.
+	// lastknown 1. Checked before the all-ops sweep below, which includes
+	// the OpReport write and so grows the history.
 	if n, _ := target.Do(OpHistory, "airtag-1"); n != 5 {
 		t.Errorf("history reports = %d, want 5", n)
 	}
 	if n, _ := target.Do(OpLastKnown, "airtag-1"); n != 1 {
 		t.Errorf("lastknown reports = %d, want 1", n)
+	}
+	for op := Op(0); op < numOps; op++ {
+		if _, err := target.Do(op, "airtag-1"); err != nil {
+			t.Errorf("%v: %v", op, err)
+		}
 	}
 	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3, Tags: []string{"airtag-1", "smarttag-1", "tag-x"}}, target)
 	if err != nil {
@@ -244,5 +245,153 @@ func TestHTTPTargetEndToEnd(t *testing.T) {
 		if _, err := httpT.Do(op, "ghost"); err == nil {
 			t.Errorf("%v: HTTP target accepted unknown tag", op)
 		}
+	}
+}
+
+// TestOpenLoopSchedule: the open loop issues the same deterministic
+// (op, tag) stream as the closed loop, measures queue wait for every
+// request, and at a generous offered rate achieves roughly what it
+// offers. Timing assertions keep wide margins — CI boxes are noisy.
+func TestOpenLoopSchedule(t *testing.T) {
+	cfg := Config{Workers: 2, Requests: 200, Seed: 9, Tags: tags(10),
+		OpenLoop: true, OfferedRate: 20000}
+	closed := newRecordingTarget(false)
+	if _, err := Run(Config{Workers: 2, Requests: 200, Seed: 9, Tags: tags(10)}, closed); err != nil {
+		t.Fatal(err)
+	}
+	open := newRecordingTarget(false)
+	res, err := Run(cfg, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(open.count, closed.count) {
+		t.Error("open and closed loops issued different request streams for the same config")
+	}
+	if !res.OpenLoop || res.OfferedRate != 20000 {
+		t.Errorf("result loop echo = (%v, %v)", res.OpenLoop, res.OfferedRate)
+	}
+	if res.QueueWait.N != res.Requests {
+		t.Errorf("queue wait samples = %d, want %d", res.QueueWait.N, res.Requests)
+	}
+	if res.Latency.N != res.Requests {
+		t.Errorf("latency samples = %d, want %d", res.Latency.N, res.Requests)
+	}
+	// 200 requests at 20k/s are offered inside ~10ms; even a slow box
+	// finishes well under a second, so the achieved rate stays within
+	// an order of magnitude of offered.
+	if res.Throughput() < res.OfferedRate/100 {
+		t.Errorf("achieved %.0f req/s against %.0f offered", res.Throughput(), res.OfferedRate)
+	}
+	out := res.Render()
+	for _, want := range []string{"open loop", "offered=", "queue ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("open-loop render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// slowTarget serves every request with a fixed delay — an overloaded
+// backend for the coordinated-omission test.
+type slowTarget struct{ d time.Duration }
+
+func (s slowTarget) Do(op Op, tagID string) (int, error) {
+	time.Sleep(s.d)
+	return 0, nil
+}
+
+// TestOpenLoopExposesQueueing is the coordinated-omission property: a
+// closed loop against a slow target reports only service latency, while
+// the open loop at an offered rate beyond the target's capacity
+// accumulates visible queue wait that dwarfs the service time.
+func TestOpenLoopExposesQueueing(t *testing.T) {
+	target := slowTarget{d: 2 * time.Millisecond}
+	// One worker serving 2ms requests caps at 500 req/s; offer 4x.
+	res, err := Run(Config{Workers: 1, Requests: 100, Seed: 5, Tags: tags(3),
+		OpenLoop: true, OfferedRate: 2000}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QueueWait.P99 < res.Latency.P50 {
+		t.Errorf("overload queue wait p99 (%.3fms) should exceed the 2ms service time (p50 %.3fms)",
+			res.QueueWait.P99, res.Latency.P50)
+	}
+	// The achieved rate saturates near capacity, well under offered.
+	if res.Throughput() >= res.OfferedRate {
+		t.Errorf("achieved %.0f req/s cannot exceed offered %.0f under overload", res.Throughput(), res.OfferedRate)
+	}
+}
+
+func TestOpenLoopValidation(t *testing.T) {
+	_, err := Run(Config{Tags: tags(2), OpenLoop: true}, newRecordingTarget(false))
+	if err == nil {
+		t.Error("open loop without an offered rate must error")
+	}
+}
+
+// TestReadMixWrites: ReadMix dials the write share, OpReport drives
+// real ingest on the direct target, and the write stream exercises
+// both accept and reject paths under the vendor rate cap.
+func TestReadMixWrites(t *testing.T) {
+	m := ReadMix(60)
+	if m.Report != 40 || m.total() != 100 {
+		t.Fatalf("ReadMix(60) = %+v", m)
+	}
+	if ReadMix(90).Report != 10 {
+		t.Fatalf("ReadMix(90) = %+v", ReadMix(90))
+	}
+	services := fixtureServices()
+	target := NewServiceTarget(services)
+	accBefore, _ := services[trace.VendorApple].Stats()
+	res, err := Run(Config{Workers: 2, Requests: 500, Seed: 11,
+		Tags: []string{"airtag-1", "smarttag-1", "tag-x"}, Mix: ReadMix(60)}, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("mixed run errors = %d", res.Errors)
+	}
+	if res.PerOp[OpReport] == 0 {
+		t.Error("a 40%% write mix issued no writes")
+	}
+	accAfter, rejAfter := services[trace.VendorApple].Stats()
+	if accAfter <= accBefore {
+		t.Error("writes did not reach the apple store")
+	}
+	if rejAfter == 0 {
+		t.Error("the rate cap rejected nothing — write stream too sparse to exercise rejects")
+	}
+}
+
+// TestCachedServiceTarget: the cached target answers identically to the
+// direct one, including after a write invalidates the hot entry.
+func TestCachedServiceTarget(t *testing.T) {
+	direct := NewServiceTarget(fixtureServices())
+	cached := NewCachedServiceTarget(fixtureServices())
+	for _, op := range []Op{OpLastKnown, OpHistory, OpTrack} {
+		want, _ := direct.Do(op, "airtag-1")
+		got, err := cached.Do(op, "airtag-1")
+		if err != nil || got != want {
+			t.Errorf("%v: cached = (%d, %v), direct = %d", op, got, err, want)
+		}
+		if _, err := cached.Do(op, "ghost"); err == nil {
+			t.Errorf("%v: cached target accepted unknown tag", op)
+		}
+	}
+	// A write through the same target must invalidate the cached track.
+	before, _ := cached.Do(OpTrack, "airtag-1")
+	if n, _ := cached.Do(OpReport, "airtag-1"); n != 1 {
+		t.Fatal("fresh write against the stale fixture should be accepted")
+	}
+	after, _ := cached.Do(OpTrack, "airtag-1")
+	if after != before+1 {
+		t.Errorf("track after invalidating write = %d reports, want %d", after, before+1)
+	}
+	res, err := Run(Config{Workers: 4, Requests: 400, Seed: 3,
+		Tags: []string{"airtag-1", "smarttag-1", "tag-x"}, Mix: ReadMix(90)}, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Errorf("cached target errors = %d", res.Errors)
 	}
 }

@@ -9,14 +9,28 @@
 // The handler is a plain http.Handler built by NewServer, so it runs
 // equally under net/http/httptest (in-process load tests, cmd/tagserve's
 // self-drive mode) and a real listener.
+//
+// The read handlers are built for the Zipf-hot query mix the load
+// harness models: the store reads underneath are lock-free (epoch
+// views, see internal/store), /v1/lastknown and /v1/track are answered
+// from the bounded hot-tag cache whenever the backing shards' epochs
+// haven't moved (see cloud.HotCache; cloud.SetHotCache is the escape
+// hatch), query parameters are parsed in one pass over the raw query
+// string instead of materializing a url.Values map per request, JSON
+// responses encode into pooled buffers, and capped history queries copy
+// only the newest N reports out of the rings.
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"tagsim/internal/cloud"
@@ -28,22 +42,27 @@ import (
 type Server struct {
 	mux      *http.ServeMux
 	services map[trace.Vendor]*cloud.Service
+	svcs     []*cloud.Service // sorted by vendor, the deterministic probe order
 	combined cloud.Combined
 	vendors  []trace.Vendor // sorted, for stable /v1/stats output
+	cache    *cloud.HotCache
 }
 
 // NewServer builds the query service over per-vendor backends. The
 // services may keep ingesting (e.g. from a live load generator or a
 // running simulation flushing through Restore) while the server reads —
-// the store's shard locks make every endpoint safe.
+// reads are lock-free against the stores' epoch views, and the hot-tag
+// cache revalidates against the shard epochs on every hit.
 func NewServer(services map[trace.Vendor]*cloud.Service) *Server {
 	s := &Server{mux: http.NewServeMux(), services: services}
 	for v, svc := range services {
 		s.vendors = append(s.vendors, v)
-		s.combined = append(s.combined, svc)
+		s.svcs = append(s.svcs, svc)
 	}
 	sort.Slice(s.vendors, func(i, j int) bool { return s.vendors[i] < s.vendors[j] })
-	sort.Slice(s.combined, func(i, j int) bool { return s.combined[i].Vendor() < s.combined[j].Vendor() })
+	sort.Slice(s.svcs, func(i, j int) bool { return s.svcs[i].Vendor() < s.svcs[j].Vendor() })
+	s.combined = cloud.Combined(s.svcs)
+	s.cache = cloud.NewHotCache(services, 0)
 	s.mux.HandleFunc("GET /v1/lastknown", s.handleLastKnown)
 	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
 	s.mux.HandleFunc("GET /v1/track", s.handleTrack)
@@ -116,38 +135,110 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// bufPool recycles the response-encode buffers; any buffer that grew
+// past maxPooledBuf (an unbounded-history response) is dropped rather
+// than pinned in the pool.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 18
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_ = json.NewEncoder(buf).Encode(v)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= maxPooledBuf {
+		bufPool.Put(buf)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// tagParam extracts the mandatory ?tag= parameter.
-func tagParam(w http.ResponseWriter, r *http.Request) (string, bool) {
-	tag := r.URL.Query().Get("tag")
-	if tag == "" {
+// queryParams are the four parameters the read endpoints accept,
+// gathered in one pass over the raw query string. Absent keys stay "",
+// matching url.Values.Get.
+type queryParams struct {
+	tag, vendor, now, limit string
+}
+
+// parseQuery scans RawQuery once without building a url.Values map.
+// Pairs that fail to unescape are skipped, exactly like url.ParseQuery
+// (which collects the error the handlers never looked at); repeated
+// keys keep the first value, like url.Values.Get.
+func parseQuery(raw string) (p queryParams) {
+	var seen [4]bool
+	for len(raw) > 0 {
+		pair := raw
+		if i := strings.IndexByte(raw, '&'); i >= 0 {
+			pair, raw = raw[:i], raw[i+1:]
+		} else {
+			raw = ""
+		}
+		key, val := pair, ""
+		if i := strings.IndexByte(pair, '='); i >= 0 {
+			key, val = pair[:i], pair[i+1:]
+		}
+		if strings.IndexByte(key, '%') >= 0 || strings.IndexByte(key, '+') >= 0 {
+			u, err := url.QueryUnescape(key)
+			if err != nil {
+				continue
+			}
+			key = u
+		}
+		var dst *string
+		var idx int
+		switch key {
+		case "tag":
+			dst, idx = &p.tag, 0
+		case "vendor":
+			dst, idx = &p.vendor, 1
+		case "now":
+			dst, idx = &p.now, 2
+		case "limit":
+			dst, idx = &p.limit, 3
+		default:
+			continue
+		}
+		if seen[idx] {
+			continue
+		}
+		if strings.IndexByte(val, '%') >= 0 || strings.IndexByte(val, '+') >= 0 {
+			u, err := url.QueryUnescape(val)
+			if err != nil {
+				continue
+			}
+			val = u
+		}
+		*dst, seen[idx] = val, true
+	}
+	return p
+}
+
+// tagParam validates the mandatory tag parameter.
+func tagParam(w http.ResponseWriter, p queryParams) (string, bool) {
+	if p.tag == "" {
 		writeErr(w, http.StatusBadRequest, "missing tag parameter")
 		return "", false
 	}
-	return tag, true
+	return p.tag, true
 }
 
-// serviceFor resolves the ?vendor= parameter: a nil service with ok
-// means the combined (freshest-wins) ecosystem, requested as "Combined"
-// or by omitting the parameter. Bad and unbacked vendors are answered
-// here.
-func (s *Server) serviceFor(w http.ResponseWriter, r *http.Request) (svc *cloud.Service, label string, ok bool) {
-	name := r.URL.Query().Get("vendor")
-	if name == "" || name == trace.VendorCombined.String() {
+// serviceFor resolves the vendor parameter: a nil service with ok means
+// the combined (freshest-wins) ecosystem, requested as "Combined" or by
+// omitting the parameter. Bad and unbacked vendors are answered here.
+func (s *Server) serviceFor(w http.ResponseWriter, p queryParams) (svc *cloud.Service, label string, ok bool) {
+	if p.vendor == "" || p.vendor == trace.VendorCombined.String() {
 		return nil, trace.VendorCombined.String(), true
 	}
-	v, err := trace.ParseVendor(name)
+	v, err := trace.ParseVendor(p.vendor)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "unknown vendor %q", name)
+		writeErr(w, http.StatusBadRequest, "unknown vendor %q", p.vendor)
 		return nil, "", false
 	}
 	svc, found := s.services[v]
@@ -158,26 +249,15 @@ func (s *Server) serviceFor(w http.ResponseWriter, r *http.Request) (svc *cloud.
 	return svc, v.String(), true
 }
 
-// viewFor is serviceFor collapsed to the last-seen View interface.
-func (s *Server) viewFor(w http.ResponseWriter, r *http.Request) (cloud.View, string, bool) {
-	svc, label, ok := s.serviceFor(w, r)
-	if !ok {
-		return nil, "", false
-	}
-	if svc == nil {
-		return s.combined, label, true
-	}
-	return svc, label, true
-}
-
-// knownTag answers whether any backing service knows the tag; unknown
-// tags 404 on every tag-scoped endpoint (a paired-but-unreported tag
-// still answers 200 with the app's "no location found").
+// knownTag answers whether any backing service knows the tag, probing
+// in sorted vendor order and stopping at the first hit (through the
+// hot-tag cache, so a hot tag's existence check costs an epoch
+// revalidation); unknown tags 404 on every tag-scoped endpoint (a
+// paired-but-unreported tag still answers 200 with the app's "no
+// location found").
 func (s *Server) knownTag(w http.ResponseWriter, tagID string) bool {
-	for _, svc := range s.services {
-		if svc.Known(tagID) {
-			return true
-		}
+	if s.cache.Known(tagID) {
+		return true
 	}
 	writeErr(w, http.StatusNotFound, "unknown tag %q", tagID)
 	return false
@@ -186,9 +266,9 @@ func (s *Server) knownTag(w http.ResponseWriter, tagID string) bool {
 // nowParam returns the reference instant for age labels: ?now=RFC3339
 // when given (deterministic queries against simulated pasts), else the
 // server clock.
-func nowParam(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
-	if raw := r.URL.Query().Get("now"); raw != "" {
-		t, err := time.Parse(time.RFC3339, raw)
+func nowParam(w http.ResponseWriter, p queryParams) (time.Time, bool) {
+	if p.now != "" {
+		t, err := time.Parse(time.RFC3339, p.now)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "bad now parameter: %v", err)
 			return time.Time{}, false
@@ -198,10 +278,10 @@ func nowParam(w http.ResponseWriter, r *http.Request) (time.Time, bool) {
 	return time.Now(), true
 }
 
-func lastKnown(view cloud.View, vendorName, tagID string, now time.Time) LastKnownResponse {
+// lastKnownAt shapes a (pos, at, found) answer into the app's response.
+func lastKnownAt(vendorName, tagID string, pos geo.LatLon, at time.Time, found bool, now time.Time) LastKnownResponse {
 	resp := LastKnownResponse{TagID: tagID, Vendor: vendorName}
-	pos, at, ok := view.LastSeen(tagID)
-	if !ok {
+	if !found {
 		return resp // the app's "no location found"
 	}
 	age := int(now.Sub(at) / time.Minute) // the app floors to whole minutes
@@ -212,78 +292,103 @@ func lastKnown(view cloud.View, vendorName, tagID string, now time.Time) LastKno
 	return resp
 }
 
+func lastKnown(view cloud.View, vendorName, tagID string, now time.Time) LastKnownResponse {
+	pos, at, ok := view.LastSeen(tagID)
+	return lastKnownAt(vendorName, tagID, pos, at, ok, now)
+}
+
 func (s *Server) handleLastKnown(w http.ResponseWriter, r *http.Request) {
-	tag, ok := tagParam(w, r)
+	p := parseQuery(r.URL.RawQuery)
+	tag, ok := tagParam(w, p)
 	if !ok {
 		return
 	}
-	view, vendorName, ok := s.viewFor(w, r)
+	svc, vendorName, ok := s.serviceFor(w, p)
 	if !ok {
 		return
 	}
-	now, ok := nowParam(w, r)
+	now, ok := nowParam(w, p)
 	if !ok {
+		return
+	}
+	if svc == nil { // combined view: one cache probe answers known + fix
+		pos, at, found, known := s.cache.LastSeen(tag)
+		if !known {
+			writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
+			return
+		}
+		writeJSON(w, http.StatusOK, lastKnownAt(vendorName, tag, pos, at, found, now))
 		return
 	}
 	if !s.knownTag(w, tag) {
 		return
 	}
-	writeJSON(w, http.StatusOK, lastKnown(view, vendorName, tag, now))
+	writeJSON(w, http.StatusOK, lastKnown(svc, vendorName, tag, now))
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	tag, ok := tagParam(w, r)
+	p := parseQuery(r.URL.RawQuery)
+	tag, ok := tagParam(w, p)
 	if !ok {
 		return
 	}
-	svc, label, ok := s.serviceFor(w, r)
+	svc, label, ok := s.serviceFor(w, p)
 	if !ok {
 		return
 	}
 	limit := -1 // no limit
-	if raw := r.URL.Query().Get("limit"); raw != "" {
-		n, err := strconv.Atoi(raw)
+	if p.limit != "" {
+		n, err := strconv.Atoi(p.limit)
 		if err != nil || n < 0 {
-			writeErr(w, http.StatusBadRequest, "bad limit parameter %q", raw)
+			writeErr(w, http.StatusBadRequest, "bad limit parameter %q", p.limit)
 			return
 		}
 		limit = n
 	}
-	if !s.knownTag(w, tag) {
-		return
-	}
+	// The limit rides down into the stores: a capped query copies only
+	// the newest N reports out of each ring instead of materializing the
+	// whole history and slicing it. The combined view is served through
+	// the hot-tag cache — the history pane asks for the same window
+	// every time, so a hot tag's window is one fill per epoch.
 	var reports []trace.Report
 	if svc == nil {
-		reports = s.combined.MergedHistory(tag)
+		var known bool
+		if reports, known = s.cache.HistoryTail(tag, limit); !known {
+			writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
+			return
+		}
 	} else {
-		reports = svc.History(tag)
-	}
-	if limit >= 0 && limit < len(reports) { // keep the newest n
-		reports = reports[len(reports)-limit:]
+		if !s.knownTag(w, tag) {
+			return
+		}
+		reports = svc.RecentHistory(tag, limit)
 	}
 	writeJSON(w, http.StatusOK, HistoryResponse{TagID: tag, Vendor: label, Reports: reports})
 }
 
 func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
-	tag, ok := tagParam(w, r)
+	p := parseQuery(r.URL.RawQuery)
+	tag, ok := tagParam(w, p)
 	if !ok {
 		return
 	}
-	now, ok := nowParam(w, r)
+	now, ok := nowParam(w, p)
 	if !ok {
 		return
 	}
-	if !s.knownTag(w, tag) {
+	merged, known := s.cache.Track(tag)
+	if !known {
+		writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
 		return
 	}
-	merged := s.combined.MergedHistory(tag)
 	track := make([]TrackPoint, 0, len(merged))
 	for _, rep := range merged {
 		track = append(track, TrackPoint{T: rep.T, Pos: rep.Pos, Vendor: rep.Vendor.String()})
 	}
+	pos, at, found, _ := s.cache.LastSeen(tag)
 	writeJSON(w, http.StatusOK, TrackResponse{
 		TagID: tag,
-		Last:  lastKnown(s.combined, trace.VendorCombined.String(), tag, now),
+		Last:  lastKnownAt(trace.VendorCombined.String(), tag, pos, at, found, now),
 		Track: track,
 	})
 }

@@ -1,18 +1,35 @@
 // Package store is the serving-side report store behind the vendor
-// clouds: a sharded, lock-per-shard map of per-tag state that stays
-// correct under GOMAXPROCS concurrent writers while preserving, shard
-// count for shard count, the exact accept/reject semantics the
-// single-goroutine simulation depends on.
+// clouds: a sharded map of per-tag state that stays correct under
+// GOMAXPROCS concurrent writers while preserving, shard count for shard
+// count, the exact accept/reject semantics the single-goroutine
+// simulation depends on — and whose read path takes no locks at all.
 //
 // Layout: tags are hashed (FNV-1a) onto a power-of-two number of
-// shards; each shard guards its slice of the tag space with its own
-// mutex, so writers to different tags contend only when they collide
-// on a shard. Per-tag state carries the rate-cap clock (the paper's
-// Figure 4 plateau is enforced here), the last-known location, and a
-// bounded history ring. The accept/reject counters are atomics bumped
-// while the shard lock is held, which makes Snapshot — which takes
-// every shard lock in index order — a fully consistent point-in-time
-// read: counters and histories always agree inside one snapshot.
+// shards; each shard serializes its writers with its own mutex, so
+// writers to different tags contend only when they collide on a shard.
+// Per-tag state carries the rate-cap clock (the paper's Figure 4
+// plateau is enforced here), the last-known location, and a bounded
+// history ring. The accept/reject counters are atomics bumped while the
+// shard lock is held, which makes Snapshot — which takes every shard
+// lock in index order — a fully consistent point-in-time read: counters
+// and histories always agree inside one snapshot.
+//
+// Read path: every write publishes the tag's state as an immutable
+// epoch view (tagView) behind an atomic pointer, and each shard keeps a
+// copy-on-write read map from tag ID to its state cell, so LastSeen /
+// Known / History / RecentHistory never take the shard mutex. New tags
+// land in a writer-owned dirty map first and are promoted wholesale
+// into a fresh read map after enough reader misses — the sync.Map
+// amortization, specialized to a keyspace that never deletes — so in
+// steady state (the Zipf-hot query mix, where the tag universe is
+// settled) readers touch two atomic loads and nothing else, and read
+// throughput scales with cores instead of flattening on the shard
+// locks. A tag's views are published in write order, so a reader can
+// never observe last-seen time move backward. Each shard also carries
+// an epoch counter bumped on every state change; the query plane's
+// hot-tag cache validates entries against it. SetLockedReads is the
+// escape hatch back to the historical mutex-guarded reads
+// (equivalence-tested byte-identical, raced in CI).
 //
 // Determinism: acceptance of a report depends only on that tag's prior
 // state, never on shard count or on other tags, so any single-writer
@@ -33,6 +50,18 @@ import (
 // to spread an 8-16 client load without bloating the tiny per-world
 // stores the simulation creates.
 const DefaultShards = 8
+
+// lockedReads disables the epoch-view read path, routing LastSeen /
+// Known / History / RecentHistory back through the shard mutexes. It is
+// the testing/benchmark escape hatch mirroring pipeline.SetStreaming.
+var lockedReads atomic.Bool
+
+// SetLockedReads toggles the historical mutex-guarded read path
+// (default off: reads are lock-free). It returns the previous setting.
+func SetLockedReads(enabled bool) (was bool) { return lockedReads.Swap(enabled) }
+
+// LockedReads reports whether reads currently take the shard locks.
+func LockedReads() bool { return lockedReads.Load() }
 
 // Store is a sharded concurrent report store for one vendor cloud.
 //
@@ -57,24 +86,71 @@ type Store struct {
 	rejected atomic.Uint64
 }
 
-// shard is one lock domain of the tag space. The trailing padding sizes
-// the struct to a 64-byte cache line, keeping neighboring shards'
-// mutexes from false-sharing under write contention.
-type shard struct {
-	mu   sync.Mutex
-	tags map[string]*tagState
-	_    [48]byte
+// readView is a shard's atomically published tag map. The map itself is
+// immutable once published; only the per-tag state cells it points to
+// evolve (through their own atomic views). amended means the shard's
+// dirty map holds tags this map does not, so a reader that misses here
+// must fall back to the lock before concluding the tag is unknown.
+type readView struct {
+	tags    map[string]*tagState
+	amended bool
 }
 
-// tagState is the per-tag serving state: rate-cap clock, last-known
-// location, and the history ring (plain append slice while unbounded;
-// circular once HistoryLimit is reached).
+// shard is one lock domain of the tag space. Writers (Ingest, Restore,
+// Register) serialize on mu; readers go through read and only fall back
+// to mu for tags newer than the last promotion. The trailing padding
+// sizes the struct to a 64-byte cache line, keeping neighboring shards'
+// hot fields from false-sharing under contention.
+type shard struct {
+	mu sync.Mutex
+	// read is the lock-free view of the shard's tag set.
+	read atomic.Pointer[readView]
+	// dirty, when non-nil, is a superset of read.tags including tags
+	// added since the last promotion. Guarded by mu; promoted wholesale
+	// (becoming the new read map) after misses reader fallbacks.
+	dirty  map[string]*tagState
+	misses int
+	// epoch counts this shard's state changes (accepted ingests,
+	// restores, registrations). The hot-tag cache above the store keys
+	// its entries on it: any bump invalidates every cached answer for
+	// tags on this shard.
+	epoch atomic.Uint64
+	_     [24]byte
+}
+
+// tagState is one tag's state cell. The mutable fields are owned by the
+// shard's writers (guarded by its mutex); view is the immutable
+// epoch-view readers load instead.
 type tagState struct {
 	lastPos geo.LatLon
 	lastAt  time.Time
 	hasLast bool
 	hist    []trace.Report
 	histAt  int // ring write index once len(hist) == HistoryLimit
+	view    atomic.Pointer[tagView]
+}
+
+// tagView is the immutable per-tag state record the lock-free read path
+// serves from. Writers build a fresh one after every mutation and
+// publish it with an atomic pointer swap; the hist backing array is
+// never written in place at an index a published view covers (appends
+// land past every published length, ring overwrites copy first), so
+// readers may slice it freely.
+type tagView struct {
+	lastPos geo.LatLon
+	lastAt  time.Time
+	hasLast bool
+	hist    []trace.Report
+	histAt  int
+}
+
+// publish snapshots the mutable state into a fresh immutable view. Must
+// be called with the shard lock held, after every mutation.
+func (st *tagState) publish() {
+	st.view.Store(&tagView{
+		lastPos: st.lastPos, lastAt: st.lastAt, hasLast: st.hasLast,
+		hist: st.hist[:len(st.hist):len(st.hist)], histAt: st.histAt,
+	})
 }
 
 func (st *tagState) appendHistory(r trace.Report, limit int) {
@@ -82,19 +158,40 @@ func (st *tagState) appendHistory(r trace.Report, limit int) {
 		st.hist = append(st.hist, r)
 		return
 	}
-	st.hist[st.histAt] = r
+	// The ring is full: copy before overwriting, because published views
+	// share the current backing array and their readers hold no lock.
+	h := make([]trace.Report, limit)
+	copy(h, st.hist)
+	h[st.histAt] = r
+	st.hist = h
 	st.histAt = (st.histAt + 1) % limit
 }
 
 // historyCopy returns the retained reports oldest-first.
 func (st *tagState) historyCopy() []trace.Report {
-	if len(st.hist) == 0 {
+	return ringCopy(st.hist, st.histAt, -1)
+}
+
+// ringCopy copies the newest limit reports out of a history ring,
+// oldest-first (limit < 0 or >= len: everything). A nil return means no
+// history at all; limit 0 against a non-empty ring is an empty non-nil
+// slice, so callers can keep the two apart.
+func ringCopy(hist []trace.Report, histAt, limit int) []trace.Report {
+	if len(hist) == 0 {
 		return nil
 	}
-	out := make([]trace.Report, 0, len(st.hist))
-	out = append(out, st.hist[st.histAt:]...)
-	out = append(out, st.hist[:st.histAt]...)
-	return out
+	if limit < 0 || limit > len(hist) {
+		limit = len(hist)
+	}
+	out := make([]trace.Report, 0, limit)
+	// Oldest-first order is hist[histAt:] then hist[:histAt]; the newest
+	// limit entries start at offset len-limit of that sequence.
+	start := histAt + len(hist) - limit
+	if start >= len(hist) {
+		return append(out, hist[start-len(hist):histAt]...)
+	}
+	out = append(out, hist[start:]...)
+	return append(out, hist[:histAt]...)
 }
 
 // New creates a store with the given shard count, rounded up to a power
@@ -110,7 +207,7 @@ func New(nShards int) *Store {
 	}
 	s := &Store{shards: make([]shard, n), mask: uint64(n - 1)}
 	for i := range s.shards {
-		s.shards[i].tags = make(map[string]*tagState)
+		s.shards[i].read.Store(&readView{tags: map[string]*tagState{}})
 	}
 	return s
 }
@@ -118,14 +215,90 @@ func New(nShards int) *Store {
 // NumShards returns the (power-of-two) shard count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
-// shardFor hashes a tag ID (FNV-1a) onto its shard.
-func (s *Store) shardFor(tagID string) *shard {
+// TagHash is the FNV-1a hash the store shards tags by. It is exported
+// so layered read-side structures (the query plane's hot-tag cache) can
+// hash a tag once and address both their own slots and every store's
+// shard epoch (TagEpochAt) with the same value.
+func TagHash(tagID string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(tagID); i++ {
 		h ^= uint64(tagID[i])
 		h *= 1099511628211
 	}
-	return &s.shards[h&s.mask]
+	return h
+}
+
+// shardFor hashes a tag ID onto its shard.
+func (s *Store) shardFor(tagID string) *shard {
+	return &s.shards[TagHash(tagID)&s.mask]
+}
+
+// stateLocked returns the tag's state cell, creating it if needed. The
+// shard lock must be held. Creation goes through the dirty map so the
+// published read map stays immutable.
+func (sh *shard) stateLocked(tagID string) (st *tagState, created bool) {
+	rv := sh.read.Load()
+	if st, ok := rv.tags[tagID]; ok {
+		return st, false
+	}
+	if sh.dirty == nil {
+		sh.dirty = make(map[string]*tagState, len(rv.tags)+1)
+		for k, v := range rv.tags {
+			sh.dirty[k] = v
+		}
+		sh.read.Store(&readView{tags: rv.tags, amended: true})
+	}
+	if st, ok := sh.dirty[tagID]; ok {
+		return st, false
+	}
+	st = &tagState{}
+	st.view.Store(&tagView{})
+	sh.dirty[tagID] = st
+	return st, true
+}
+
+// getLocked returns the tag's state cell or nil. The shard lock must be
+// held.
+func (sh *shard) getLocked(tagID string) *tagState {
+	if st, ok := sh.read.Load().tags[tagID]; ok {
+		return st
+	}
+	return sh.dirty[tagID]
+}
+
+// allLocked returns the shard's complete tag map (the dirty superset
+// when one exists). The shard lock must be held; callers must not
+// mutate the result.
+func (sh *shard) allLocked() map[string]*tagState {
+	if sh.dirty != nil {
+		return sh.dirty
+	}
+	return sh.read.Load().tags
+}
+
+// lookup is the lock-free tag resolution: a hit in the read map (or a
+// miss with no amendments pending) answers without the mutex; otherwise
+// the reader falls back to the lock and counts a miss toward the next
+// wholesale promotion of the dirty map.
+func (sh *shard) lookup(tagID string) *tagState {
+	rv := sh.read.Load()
+	st, ok := rv.tags[tagID]
+	if ok || !rv.amended {
+		return st
+	}
+	sh.mu.Lock()
+	rv = sh.read.Load()
+	if st, ok = rv.tags[tagID]; !ok && rv.amended {
+		st = sh.dirty[tagID]
+		sh.misses++
+		if sh.misses >= len(sh.dirty) {
+			sh.read.Store(&readView{tags: sh.dirty})
+			sh.dirty = nil
+			sh.misses = 0
+		}
+	}
+	sh.mu.Unlock()
+	return st
 }
 
 // Register creates state for a tag (idempotent). Tags must be
@@ -133,8 +306,8 @@ func (s *Store) shardFor(tagID string) *shard {
 func (s *Store) Register(tagID string) {
 	sh := s.shardFor(tagID)
 	sh.mu.Lock()
-	if _, ok := sh.tags[tagID]; !ok {
-		sh.tags[tagID] = &tagState{}
+	if _, created := sh.stateLocked(tagID); created {
+		sh.epoch.Add(1)
 	}
 	sh.mu.Unlock()
 }
@@ -158,13 +331,12 @@ func (s *Store) Ingest(r trace.Report) bool {
 	at := seenAt(r)
 	sh := s.shardFor(r.TagID)
 	sh.mu.Lock()
-	st, ok := sh.tags[r.TagID]
-	if !ok {
-		st = &tagState{}
-		sh.tags[r.TagID] = st
-	}
+	st, created := sh.stateLocked(r.TagID)
 	if st.hasLast && (!at.After(st.lastAt) || at.Sub(st.lastAt) < s.MinUpdateInterval) {
 		s.rejected.Add(1)
+		if created {
+			sh.epoch.Add(1)
+		}
 		sh.mu.Unlock()
 		return false
 	}
@@ -174,6 +346,8 @@ func (s *Store) Ingest(r trace.Report) bool {
 	if s.KeepHistory {
 		st.appendHistory(r, s.HistoryLimit)
 	}
+	st.publish()
+	sh.epoch.Add(1)
 	s.accepted.Add(1)
 	sh.mu.Unlock()
 	return true
@@ -190,11 +364,7 @@ func (s *Store) Restore(reports []trace.Report) {
 		at := seenAt(r)
 		sh := s.shardFor(r.TagID)
 		sh.mu.Lock()
-		st, ok := sh.tags[r.TagID]
-		if !ok {
-			st = &tagState{}
-			sh.tags[r.TagID] = st
-		}
+		st, _ := sh.stateLocked(r.TagID)
 		if !st.hasLast || at.After(st.lastAt) {
 			st.lastPos = r.Pos
 			st.lastAt = at
@@ -203,6 +373,8 @@ func (s *Store) Restore(reports []trace.Report) {
 		if s.KeepHistory {
 			st.appendHistory(r, s.HistoryLimit)
 		}
+		st.publish()
+		sh.epoch.Add(1)
 		s.accepted.Add(1)
 		sh.mu.Unlock()
 	}
@@ -213,36 +385,80 @@ func (s *Store) Restore(reports []trace.Report) {
 // found" for a paired tag and a 404 for a tag that does not exist.
 func (s *Store) Known(tagID string) bool {
 	sh := s.shardFor(tagID)
-	sh.mu.Lock()
-	_, ok := sh.tags[tagID]
-	sh.mu.Unlock()
-	return ok
+	if lockedReads.Load() {
+		sh.mu.Lock()
+		ok := sh.getLocked(tagID) != nil
+		sh.mu.Unlock()
+		return ok
+	}
+	return sh.lookup(tagID) != nil
 }
 
 // LastSeen returns the tag's last reported location and when it was
 // observed. ok is false when the tag is unknown or has no reports yet.
+// The lock-free path serves the tag's latest published epoch view, so
+// two sequential reads can never see the last-seen time move backward.
 func (s *Store) LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool) {
 	sh := s.shardFor(tagID)
-	sh.mu.Lock()
-	st, found := sh.tags[tagID]
-	if found && st.hasLast {
-		pos, at, ok = st.lastPos, st.lastAt, true
+	if lockedReads.Load() {
+		sh.mu.Lock()
+		if st := sh.getLocked(tagID); st != nil && st.hasLast {
+			pos, at, ok = st.lastPos, st.lastAt, true
+		}
+		sh.mu.Unlock()
+		return pos, at, ok
 	}
-	sh.mu.Unlock()
-	return pos, at, ok
+	if st := sh.lookup(tagID); st != nil {
+		if v := st.view.Load(); v.hasLast {
+			return v.lastPos, v.lastAt, true
+		}
+	}
+	return pos, at, false
+}
+
+// TagEpoch returns the current epoch of the tag's shard: a counter
+// bumped on every state change (accepted ingest, restore, or
+// registration) landing there. Caches key their entries on it — equal
+// epochs guarantee nothing about the tag changed in between. Epochs are
+// per shard, so an unrelated colliding tag's write also invalidates
+// (conservative, never stale).
+func (s *Store) TagEpoch(tagID string) uint64 {
+	return s.shardFor(tagID).epoch.Load()
+}
+
+// TagEpochAt is TagEpoch for a tag hash precomputed with TagHash — the
+// one-hash-per-probe path of the hot-tag cache.
+func (s *Store) TagEpochAt(h uint64) uint64 {
+	return s.shards[h&s.mask].epoch.Load()
 }
 
 // History returns a copy of the retained accepted reports for a tag,
 // oldest first (nil for an unknown or history-less tag).
 func (s *Store) History(tagID string) []trace.Report {
+	return s.RecentHistory(tagID, -1)
+}
+
+// RecentHistory returns a copy of the newest limit retained reports for
+// a tag, oldest-first, copying only those limit entries out of the ring
+// (limit < 0: everything, i.e. History). A capped query over a long
+// history never materializes the full ring. nil means no history at
+// all; limit 0 against a tag with history is an empty non-nil slice.
+func (s *Store) RecentHistory(tagID string, limit int) []trace.Report {
 	sh := s.shardFor(tagID)
-	sh.mu.Lock()
-	var out []trace.Report
-	if st, ok := sh.tags[tagID]; ok {
-		out = st.historyCopy()
+	if lockedReads.Load() {
+		var out []trace.Report
+		sh.mu.Lock()
+		if st := sh.getLocked(tagID); st != nil {
+			out = ringCopy(st.hist, st.histAt, limit)
+		}
+		sh.mu.Unlock()
+		return out
 	}
-	sh.mu.Unlock()
-	return out
+	if st := sh.lookup(tagID); st != nil {
+		v := st.view.Load()
+		return ringCopy(v.hist, v.histAt, limit)
+	}
+	return nil
 }
 
 // TagIDs returns the registered tags in sorted order.
@@ -251,7 +467,7 @@ func (s *Store) TagIDs() []string {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		for id := range sh.tags {
+		for id := range sh.allLocked() {
 			out = append(out, id)
 		}
 		sh.mu.Unlock()
@@ -266,7 +482,7 @@ func (s *Store) NumTags() int {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		n += len(sh.tags)
+		n += len(sh.allLocked())
 		sh.mu.Unlock()
 	}
 	return n
@@ -306,7 +522,7 @@ func (s *Store) Snapshot() Snapshot {
 	}
 	snap := Snapshot{Accepted: s.accepted.Load(), Rejected: s.rejected.Load()}
 	for i := range s.shards {
-		for id, st := range s.shards[i].tags {
+		for id, st := range s.shards[i].allLocked() {
 			snap.Tags = append(snap.Tags, TagSnapshot{
 				ID: id, Pos: st.lastPos, At: st.lastAt, HasLast: st.hasLast,
 				History: st.historyCopy(),

@@ -252,13 +252,18 @@ type (
 	// QueryServer is the http.Handler exposing /v1/lastknown, /v1/history,
 	// /v1/track, /v1/stats and POST /v1/report.
 	QueryServer = serve.Server
-	// LoadConfig parameterizes the deterministic closed-loop load
-	// generator.
+	// LoadConfig parameterizes the deterministic load generator
+	// (closed loop by default, open-loop Poisson via OpenLoop).
 	LoadConfig = load.Config
 	// LoadResult is one load run's throughput/latency report.
 	LoadResult = load.Result
 	// LoadTarget is a serving backend the load generator can drive.
 	LoadTarget = load.Target
+	// LoadMix weighs the generated operations, including the write share.
+	LoadMix = load.Mix
+	// HotTagCache is the bounded, epoch-validated cache the query API
+	// serves hot /v1/lastknown and /v1/track answers from.
+	HotTagCache = cloud.HotCache
 )
 
 var (
@@ -270,12 +275,28 @@ var (
 	NewReportStore = store.New
 	// NewQueryServer builds the vendor query API over per-vendor clouds.
 	NewQueryServer = serve.NewServer
-	// RunLoad drives a target with the closed-loop load generator.
+	// RunLoad drives a target with the load generator.
 	RunLoad = load.Run
 	// NewHTTPTarget points the load generator at a query API base URL.
 	NewHTTPTarget = load.NewHTTPTarget
 	// NewServiceTarget points the load generator directly at the stores.
 	NewServiceTarget = load.NewServiceTarget
+	// NewCachedServiceTarget is NewServiceTarget behind the hot-tag cache.
+	NewCachedServiceTarget = load.NewCachedServiceTarget
+	// LoadReadMix builds the 60/75/90%-read operation mixes of the
+	// serving benchmarks.
+	LoadReadMix = load.ReadMix
+	// DefaultLoadMix is the crawler-shaped all-read operation mix.
+	DefaultLoadMix = load.DefaultMix
+	// NewHotTagCache builds a hot-tag cache over per-vendor clouds.
+	NewHotTagCache = cloud.NewHotCache
+	// SetLockedReads reverts the store read path to the historical
+	// mutex-guarded implementation (escape hatch; default lock-free).
+	// It returns the previous setting.
+	SetLockedReads = store.SetLockedReads
+	// SetHotCache toggles the query plane's hot-tag caching (default
+	// on). It returns the previous setting.
+	SetHotCache = cloud.SetHotCache
 )
 
 // Streaming campaign pipeline: the live data path from the radio plane
