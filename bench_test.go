@@ -620,6 +620,52 @@ func BenchmarkServeOpenLoop(b *testing.B) {
 	b.ReportMetric(res.Latency.P99, "p99-ms")
 }
 
+// BenchmarkObsOverhead is the zero-overhead gate for the observability
+// plane: the hottest serving configuration (svc path, cached reads,
+// 90% read mix) with every metric live — per-request latency histogram
+// plus cache and store counters — against the same run with
+// tagsim.SetMetrics(false) compiling every update down to one atomic
+// branch. BENCH_obs.json records the pair; the acceptance bar is
+// instrumented within 5% of disabled.
+func BenchmarkObsOverhead(b *testing.B) {
+	services, tags := serveBenchFixture(b)
+	wasCached := tagsim.SetHotCache(true)
+	defer tagsim.SetHotCache(wasCached)
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"instrumented", true}, {"disabled", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			was := tagsim.SetMetrics(mode.on)
+			defer tagsim.SetMetrics(was)
+			cfg := tagsim.LoadConfig{
+				Workers: 4, Requests: b.N, Seed: 7,
+				Tags: tags, Mix: tagsim.LoadReadMix(90),
+				Latency: &tagsim.LatencyHistogram{},
+			}
+			target := tagsim.NewCachedServiceTarget(services)
+			// Warm the fresh cache and the heap before timing — the
+			// first pass over the Zipf mix is all fills, which would
+			// otherwise bill ~2x to whichever mode runs first.
+			warm := cfg
+			warm.Requests = 30000
+			if _, err := tagsim.RunLoad(warm, target); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			res, err := tagsim.RunLoad(cfg, target)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Errors > 0 {
+				b.Fatalf("%d request errors", res.Errors)
+			}
+			b.ReportMetric(res.Throughput(), "req/s")
+		})
+	}
+}
+
 // BenchmarkAblationCrossEcosystem compares the paper's combined-analysis
 // emulation against a true cross-ecosystem world where each vendor's
 // devices report both tags (DESIGN.md ablation 4).

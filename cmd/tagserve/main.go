@@ -24,7 +24,7 @@
 //	         [-load N] [-requests N] [-direct] [-writes PCT]
 //	         [-open-loop -rate R]
 //	         [-locked-reads] [-no-cache]
-//	         [-addr :8080]
+//	         [-addr :8080] [-pprof]
 //
 // -writes dials the write share of the load mix (reads get the rest,
 // in the crawler's proportions). -open-loop switches the harness to
@@ -33,6 +33,12 @@
 // -no-cache are the serving plane's escape hatches: they fall back to
 // the mutex read path and bypass the hot-tag cache, the configuration
 // the lock-free epoch views and the cache are benchmarked against.
+//
+// Observability: the server always exposes GET /metrics (Prometheus
+// text) and GET /debug/vars (flat JSON) — per-endpoint latency
+// histograms and request counters, per-vendor and per-shard store
+// counters, hot-cache effectiveness, and (with -live) pipeline consumer
+// lag. -pprof additionally mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -43,6 +49,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -54,6 +61,7 @@ import (
 	"tagsim/internal/cloud"
 	"tagsim/internal/crawler"
 	"tagsim/internal/load"
+	"tagsim/internal/obs"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/serve"
 	"tagsim/internal/store"
@@ -80,6 +88,7 @@ func main() {
 	lockedReads := flag.Bool("locked-reads", false, "escape hatch: serve reads under the shard locks instead of the epoch views")
 	noCache := flag.Bool("no-cache", false, "escape hatch: bypass the hot-tag query cache")
 	addr := flag.String("addr", "", "serve the query API on this address until SIGINT/SIGTERM (empty: exit after the load report)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	if *writes < 0 || *writes > 100 {
@@ -99,7 +108,7 @@ func main() {
 		if *traces != "" {
 			log.Fatal("-live and -traces are mutually exclusive")
 		}
-		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, loadCfg, *direct, *addr); err != nil {
+		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, loadCfg, *direct, *addr, *pprofOn); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -125,7 +134,7 @@ func main() {
 		}
 	}
 
-	handler := serve.NewServer(services)
+	handler := maybePprof(serve.NewServer(services), *pprofOn)
 	if *loadWorkers > 0 {
 		res, err := driveLoad(handler, services, tags, loadCfg, *direct)
 		if err != nil {
@@ -140,12 +149,47 @@ func main() {
 	}
 }
 
+// maybePprof mounts net/http/pprof in front of the query handler when
+// requested. Opt-in: profiling handlers can run seconds-long CPU
+// captures, so they never ship on by default.
+func maybePprof(h http.Handler, on bool) http.Handler {
+	if !on {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", h)
+	return mux
+}
+
+// registerPipelineMetrics bridges the live pipeline's consumer progress
+// into the server's registry, labeled by consumer name, so /metrics
+// shows batch lag and queue depth next to the serve histograms.
+func registerPipelineMetrics(reg *obs.Registry, pl *pipeline.Pipeline) {
+	for i, cs := range pl.ConsumerStats() {
+		i := i
+		consumer := obs.L("consumer", cs.Name)
+		reg.CounterFunc("pipeline_consumed_batches_total",
+			func() uint64 { return pl.ConsumerStats()[i].Batches }, consumer)
+		reg.CounterFunc("pipeline_consumed_records_total",
+			func() uint64 { return pl.ConsumerStats()[i].Records }, consumer)
+		reg.GaugeFunc("pipeline_queue_depth",
+			func() float64 { return float64(pl.ConsumerStats()[i].QueueDepth) }, consumer)
+		reg.GaugeFunc("pipeline_lag_batches",
+			func() float64 { return float64(pl.ConsumerStats()[i].Lag) }, consumer)
+	}
+}
+
 // runLive streams an in-the-wild campaign through the pipeline into the
 // serving stores while they serve queries: the simulation's accepted
 // reports flow batch by batch into the sharded stores, the load harness
 // reads concurrently, and the report prints both planes' sustained
 // rates.
-func runLive(seed int64, scale float64, workers, devices, shards, historyLimit int, loadCfg load.Config, direct bool, addr string) error {
+func runLive(seed int64, scale float64, workers, devices, shards, historyLimit int, loadCfg load.Config, direct bool, addr string, pprofOn bool) error {
 	services := newServices(shards, historyLimit)
 	ingester := pipeline.NewStoreIngester(services)
 	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices}
@@ -184,7 +228,9 @@ func runLive(seed int64, scale float64, workers, devices, shards, historyLimit i
 		}
 	}()
 
-	handler := serve.NewServer(services)
+	srv := serve.NewServer(services)
+	registerPipelineMetrics(srv.Metrics(), pl)
+	handler := maybePprof(srv, pprofOn)
 	if loadCfg.Workers > 0 {
 		tags, err := awaitTags(services, simDone)
 		if err != nil {

@@ -12,7 +12,10 @@
 // DIR/repNNN/. -reportlog additionally streams every cloud-accepted
 // report to DIR/reports.col in the binary columnar format as the
 // simulation runs (see internal/pipeline; tagsim.ReadReportsColumnar
-// reads it back).
+// reads it back). -metrics-every D logs the process-wide metrics
+// snapshot (scan ticks, pipeline throughput — the obs.Default registry)
+// to stderr every D while the scenario runs, plus once at the end —
+// the headless campaign's progress view.
 package main
 
 import (
@@ -21,8 +24,10 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"tagsim"
+	"tagsim/internal/obs"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/trace"
 )
@@ -37,11 +42,16 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = sequential)")
 	replicates := flag.Int("replicates", 1, "wild campaign replicates to run from derived seeds")
 	reportLog := flag.Bool("reportlog", false, "stream accepted cloud reports to DIR/reports.col (columnar) during the wild run")
+	metricsEvery := flag.Duration("metrics-every", 0, "log the process metrics snapshot to stderr at this period (0 disables)")
 	out := flag.String("out", "traces", "output directory")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		log.Fatal(err)
+	}
+	if *metricsEvery > 0 {
+		stop := startMetricsLogger(*metricsEvery)
+		defer stop()
 	}
 	switch *scenarioName {
 	case "wild":
@@ -50,6 +60,34 @@ func main() {
 		runCafeteria(*seed, *out)
 	default:
 		log.Fatalf("unknown scenario %q", *scenarioName)
+	}
+}
+
+// startMetricsLogger emits the obs.Default snapshot to stderr on the
+// given period (and once more when stopped — the final totals), as one
+// compact name=value line per tick. Differencing two consecutive lines
+// gives the live rates: pipeline_reports_total over the period is the
+// campaign's reports/s.
+func startMetricsLogger(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				log.Printf("metrics: %s", obs.Default.Compact())
+			case <-done:
+				log.Printf("metrics (final): %s", obs.Default.Compact())
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
 	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
@@ -82,6 +83,39 @@ type HotCache struct {
 	combined Combined
 	mask     uint64
 	slots    []atomic.Pointer[hotEntry]
+
+	// Effectiveness counters (obs-gated atomics, one add per probe on
+	// the hot path). A probe is a hit when it returns a valid entry and
+	// a miss otherwise; misses where the slot held this very tag under a
+	// stale epoch additionally count as invalidations — the share of
+	// misses caused by writes rather than by collisions or cold slots.
+	// Fills count entry publications, including lazy track/history
+	// upgrades of a hit.
+	hits          obs.Counter
+	misses        obs.Counter
+	fills         obs.Counter
+	invalidations obs.Counter
+}
+
+// CacheStats is a point-in-time copy of a HotCache's effectiveness
+// counters — the decomposition of the cached read path's speedup that
+// /v1/stats and /metrics surface.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Fills         uint64 `json:"fills"`
+	Invalidations uint64 `json:"invalidations"`
+}
+
+// Stats returns the cache's counters. Loads are individually atomic,
+// not mutually consistent under concurrent probes.
+func (c *HotCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Fills:         c.fills.Value(),
+		Invalidations: c.invalidations.Value(),
+	}
 }
 
 // NewHotCache builds a cache with the given slot count (rounded up to a
@@ -136,8 +170,13 @@ func (c *HotCache) probe(tagID string) (slot *atomic.Pointer[hotEntry], e *hotEn
 	slot = &c.slots[h&c.mask]
 	epoch = c.epochAt(h)
 	if e = slot.Load(); e != nil && e.tag == tagID && e.epoch == epoch {
+		c.hits.Inc()
 		return slot, e, epoch
 	}
+	if e != nil && e.tag == tagID {
+		c.invalidations.Inc()
+	}
+	c.misses.Inc()
 	return slot, nil, epoch
 }
 
@@ -162,6 +201,7 @@ func (c *HotCache) LastSeen(tagID string) (pos geo.LatLon, at time.Time, found, 
 			e.pos, e.at, e.found = c.combined.LastSeen(tagID)
 		}
 		slot.Store(e)
+		c.fills.Inc()
 	}
 	return e.pos, e.at, e.found, e.known
 }
@@ -191,6 +231,7 @@ func (c *HotCache) Track(tagID string) (track []trace.Report, known bool) {
 			ne.track = c.combined.MergedHistory(tagID)
 		}
 		slot.Store(ne)
+		c.fills.Inc()
 		e = ne
 	}
 	return e.track, e.known
@@ -220,6 +261,7 @@ func (c *HotCache) HistoryTail(tagID string, limit int) (hist []trace.Report, kn
 			ne.hist = c.combined.MergedHistoryTail(tagID, limit)
 		}
 		slot.Store(ne)
+		c.fills.Inc()
 		e = ne
 	}
 	return e.hist, e.known

@@ -110,12 +110,12 @@ func legacyScanOnce(p *Plane, now time.Time) {
 			if rng.Float64() >= hearProb {
 				continue
 			}
-			p.heard++
+			p.heard.Add(1)
 			delay, ok := dev.ShouldReport(tg.ID, now, rng)
 			if !ok {
 				continue
 			}
-			p.reported++
+			p.reported.Add(1)
 			fix := dev.GPSFix(now, rng)
 			rssi := tg.Profile.Channel.SampleRSSI(d, 0, rng)
 			rep := trace.Report{
@@ -133,7 +133,7 @@ func legacyScanOnce(p *Plane, now time.Time) {
 			}
 			p.engine.Schedule(rep.T, func() {
 				if svc.Ingest(rep) {
-					p.delivered++
+					p.delivered.Add(1)
 				}
 			})
 		}

@@ -12,12 +12,14 @@ package encounter
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
 	"tagsim/internal/ble"
 	"tagsim/internal/cloud"
 	"tagsim/internal/device"
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
 	"tagsim/internal/sim"
 	"tagsim/internal/tag"
 	"tagsim/internal/trace"
@@ -59,10 +61,14 @@ type Plane struct {
 	tags     []*tag.Tag
 	services map[trace.Vendor]*cloud.Service
 
-	buf        []*device.Device
-	heard      uint64
-	reported   uint64
-	delivered  uint64
+	buf []*device.Device
+	// Counters are atomics so a live serve loop (or a -metrics-every
+	// logger) can read Stats concurrently with a running scan loop; the
+	// scan loop is the only writer.
+	ticks      atomic.Uint64
+	heard      atomic.Uint64
+	reported   atomic.Uint64
+	delivered  atomic.Uint64
 	reportsLog []trace.Report
 	// KeepLog retains every delivered report in reportsLog (diagnostics;
 	// the clouds keep their own accepted history).
@@ -92,6 +98,9 @@ func New(cfg Config, e *sim.Engine, fleet *device.Fleet, tags []*tag.Tag, servic
 	for i, tg := range tags {
 		tagSeed[i] = e.StreamSeed().String("encounter/").String(tg.ID).String("/")
 	}
+	// Overflow accumulates across worlds: each plane contributes the tags
+	// its fleet's grid index could not cell-bound.
+	obsOverflow.Add(uint64(fleet.GridStats().Overflow))
 	return &Plane{
 		cfg:       cfg,
 		engine:    e,
@@ -111,8 +120,20 @@ func (p *Plane) Attach(start time.Time) (stop func()) {
 	return p.engine.EveryFixed(start, p.cfg.ScanInterval, p.ScanOnce)
 }
 
+// Process-wide radio-plane series in the obs.Default registry,
+// aggregated across every live Plane (a campaign builds one per world).
+var (
+	obsTicks     = obs.GetCounter("encounter_ticks_total")
+	obsHeard     = obs.GetCounter("encounter_heard_total")
+	obsReported  = obs.GetCounter("encounter_reported_total")
+	obsDelivered = obs.GetCounter("encounter_delivered_total")
+	obsOverflow  = obs.GetCounter("encounter_grid_overflow_total")
+)
+
 // ScanOnce evaluates one encounter window at the given virtual time.
 func (p *Plane) ScanOnce(now time.Time) {
+	p.ticks.Add(1)
+	obsTicks.Inc()
 	// One formatting of the scan instant serves every tag this tick; it
 	// is the per-tick suffix of each tag's RNG stream name.
 	p.tickKey = now.UTC().AppendFormat(p.tickKey[:0], time.RFC3339Nano)
@@ -150,12 +171,14 @@ func (p *Plane) scanTag(ti int, tg *tag.Tag, now time.Time) {
 		if rng.Float64() >= hearProb {
 			continue
 		}
-		p.heard++
+		p.heard.Add(1)
+		obsHeard.Inc()
 		delay, ok := dev.ShouldReport(tg.ID, now, rng)
 		if !ok {
 			continue
 		}
-		p.reported++
+		p.reported.Add(1)
+		obsReported.Inc()
 		// The reported location is the device's GPS fix at hear time —
 		// the approximation the paper identifies as the dominant error
 		// source (up to the full Bluetooth range).
@@ -176,7 +199,8 @@ func (p *Plane) scanTag(ti int, tg *tag.Tag, now time.Time) {
 		}
 		p.engine.Schedule(rep.T, func() {
 			if svc.Ingest(rep) {
-				p.delivered++
+				p.delivered.Add(1)
+				obsDelivered.Inc()
 				if p.KeepLog {
 					p.reportsLog = append(p.reportsLog, rep)
 				}
@@ -195,10 +219,16 @@ func scanStreamName(tagID string, now time.Time) string {
 }
 
 // Stats returns plane counters: beacons heard, reports attempted (passed
-// the vendor strategy), and reports accepted by the clouds.
+// the vendor strategy), and reports accepted by the clouds. Safe to call
+// concurrently with a running scan loop — each load is atomic (the three
+// are not mutually consistent mid-tick).
 func (p *Plane) Stats() (heard, reported, delivered uint64) {
-	return p.heard, p.reported, p.delivered
+	return p.heard.Load(), p.reported.Load(), p.delivered.Load()
 }
+
+// Ticks returns the number of scan windows evaluated so far. Safe for
+// concurrent use.
+func (p *Plane) Ticks() uint64 { return p.ticks.Load() }
 
 // Log returns the delivered-report log when KeepLog is set.
 func (p *Plane) Log() []trace.Report { return p.reportsLog }

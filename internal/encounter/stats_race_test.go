@@ -1,0 +1,52 @@
+package encounter
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsConcurrentWithScanLoop is the raced regression for the
+// satellite fix: Plane.Stats (and Ticks) must be safe to read while the
+// engine drives the scan loop — the exact access pattern of a -live
+// tagserve run polling plane counters, or a -metrics-every logger,
+// against a running world. Before the counters became atomics this was
+// a data race the detector flagged. Run under -race in CI.
+func TestStatsConcurrentWithScanLoop(t *testing.T) {
+	w := buildWorld(10, 10, 10, Config{})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var lastTicks, lastHeard uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// The counters are not mutually consistent mid-tick, but each
+			// one individually is monotone under concurrent reads.
+			heard, _, _ := w.plane.Stats()
+			ticks := w.plane.Ticks()
+			if heard < lastHeard || ticks < lastTicks {
+				t.Errorf("counter moved backward: heard %d->%d ticks %d->%d",
+					lastHeard, heard, lastTicks, ticks)
+				return
+			}
+			lastHeard, lastTicks = heard, ticks
+		}
+	}()
+	w.engine.RunFor(time.Hour)
+	close(stop)
+	wg.Wait()
+
+	heard, reported, delivered := w.plane.Stats()
+	if heard == 0 || reported == 0 || delivered == 0 {
+		t.Fatalf("no activity recorded: %d/%d/%d", heard, reported, delivered)
+	}
+	if w.plane.Ticks() == 0 {
+		t.Fatal("no ticks recorded")
+	}
+}

@@ -41,6 +41,7 @@ import (
 
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
 	"tagsim/internal/stats"
 	"tagsim/internal/trace"
 )
@@ -144,6 +145,11 @@ type Config struct {
 	// OfferedRate is the aggregate arrival rate in requests/second
 	// across all workers. Required (> 0) when OpenLoop is set.
 	OfferedRate float64
+	// Latency, when set, additionally records every request latency into
+	// this histogram — the hook that puts harness traffic on the same
+	// /metrics pane as live serve traffic (and the fixture the
+	// histogram-vs-stats.Quantiles agreement test drives end to end).
+	Latency *obs.Histogram
 }
 
 func (c *Config) defaults() error {
@@ -360,7 +366,11 @@ func Run(cfg Config, target Target) (*Result, error) {
 				}
 				t := time.Now()
 				reports, err := target.Do(op, tag)
-				out.latencies = append(out.latencies, float64(time.Since(t))/float64(time.Millisecond))
+				lat := time.Since(t)
+				if cfg.Latency != nil {
+					cfg.Latency.Observe(lat)
+				}
+				out.latencies = append(out.latencies, float64(lat)/float64(time.Millisecond))
 				out.perOp[op]++
 				out.reports += reports
 				if err != nil {

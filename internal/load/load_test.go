@@ -11,6 +11,7 @@ import (
 
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
 	"tagsim/internal/serve"
 	"tagsim/internal/trace"
 )
@@ -393,5 +394,24 @@ func TestCachedServiceTarget(t *testing.T) {
 	}
 	if res.Errors != 0 {
 		t.Errorf("cached target errors = %d", res.Errors)
+	}
+}
+
+// TestLatencyHistogram: a Config.Latency histogram observes exactly one
+// sample per issued request, and its quantiles are well-formed.
+func TestLatencyHistogram(t *testing.T) {
+	h := &obs.Histogram{}
+	cfg := Config{Workers: 4, Requests: 500, Seed: 11, Tags: tags(10), Latency: h}
+	res, err := Run(cfg, newRecordingTarget(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(res.Requests) {
+		t.Fatalf("histogram saw %d samples, load issued %d requests", snap.Count, res.Requests)
+	}
+	p50, p99 := snap.Quantile(50), snap.Quantile(99)
+	if p50 < 0 || p99 < p50 {
+		t.Fatalf("malformed quantiles: p50=%v p99=%v", p50, p99)
 	}
 }

@@ -138,6 +138,9 @@ func (a *CampaignAccumulator) Consume(b Batch) error {
 	return nil
 }
 
+// Name labels this consumer in pipeline stats.
+func (a *CampaignAccumulator) Name() string { return "accumulate" }
+
 // Close implements Consumer: it assembles the CampaignState.
 func (a *CampaignAccumulator) Close() error {
 	for i, wa := range a.worlds {

@@ -374,3 +374,6 @@ func (s *ReportSink) Consume(b Batch) error { return s.w.Append(b.Reports...) }
 
 // Close implements Consumer.
 func (s *ReportSink) Close() error { return s.w.Close() }
+
+// Name labels this consumer in pipeline stats.
+func (s *ReportSink) Name() string { return "disk" }

@@ -62,6 +62,9 @@ func (si *StoreIngester) Consume(b Batch) error {
 // Close implements Consumer.
 func (si *StoreIngester) Close() error { return nil }
 
+// Name labels this consumer in pipeline stats.
+func (si *StoreIngester) Name() string { return "store" }
+
 // Ingested returns how many reports have been loaded so far. Safe to
 // read concurrently with the stream (tagserve's live stats).
 func (si *StoreIngester) Ingested() uint64 { return si.ingested.Load() }

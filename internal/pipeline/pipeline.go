@@ -35,7 +35,19 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tagsim/internal/obs"
 	"tagsim/internal/trace"
+)
+
+// Process-wide pipeline series in the obs.Default registry: merged
+// batches and records by kind, aggregated across every pipeline in the
+// process. A -metrics-every snapshot differencing pipeline_reports_total
+// is the live reports/s gauge for a headless campaign.
+var (
+	obsBatches = obs.GetCounter("pipeline_batches_total")
+	obsReports = obs.GetCounter("pipeline_reports_total")
+	obsFixes   = obs.GetCounter("pipeline_fixes_total")
+	obsCrawls  = obs.GetCounter("pipeline_crawls_total")
 )
 
 // streamingDisabled routes experiments.NewCampaign through the
@@ -135,21 +147,32 @@ type Pipeline struct {
 	waitErr  error
 }
 
-// consumerRunner drives one consumer on its own goroutine.
+// consumerRunner drives one consumer on its own goroutine. sent /
+// consumed / records are the observability plane's lag accounting:
+// sent is bumped by the merge as it dispatches, consumed and records by
+// the runner as it finishes each batch, so sent-consumed is the
+// consumer's batch lag (queued plus in-flight) at any instant.
 type consumerRunner struct {
-	c    Consumer
-	ch   chan Batch
-	done chan struct{}
-	err  error
+	c        Consumer
+	name     string
+	ch       chan Batch
+	done     chan struct{}
+	err      error
+	sent     atomic.Uint64
+	consumed atomic.Uint64
+	records  atomic.Uint64
 }
 
 func (r *consumerRunner) run() {
 	defer close(r.done)
 	for b := range r.ch {
 		if r.err != nil {
+			r.consumed.Add(1)
 			continue // drain so the merge never blocks on a failed consumer
 		}
 		r.err = r.c.Consume(b)
+		r.consumed.Add(1)
+		r.records.Add(uint64(b.Len()))
 	}
 	if cerr := r.c.Close(); r.err == nil {
 		r.err = cerr
@@ -169,8 +192,12 @@ func New(worlds int, cfg Config, consumers ...Consumer) *Pipeline {
 			ch:         make(chan Batch, cfg.WorldBuffer),
 		})
 	}
-	for _, c := range consumers {
-		r := &consumerRunner{c: c, ch: make(chan Batch, cfg.ConsumerBuffer), done: make(chan struct{})}
+	for i, c := range consumers {
+		name := fmt.Sprintf("consumer%d", i)
+		if n, ok := c.(interface{ Name() string }); ok {
+			name = n.Name()
+		}
+		r := &consumerRunner{c: c, name: name, ch: make(chan Batch, cfg.ConsumerBuffer), done: make(chan struct{})}
 		p.runners = append(p.runners, r)
 		go r.run()
 	}
@@ -200,7 +227,12 @@ func (p *Pipeline) merge() {
 			}
 			nextSeq++
 			sawFinal = b.Final
+			obsBatches.Inc()
+			obsReports.Add(uint64(len(b.Reports)))
+			obsFixes.Add(uint64(len(b.Fixes)))
+			obsCrawls.Add(uint64(len(b.Crawls)))
 			for _, r := range p.runners {
+				r.sent.Add(1)
 				r.ch <- b
 			}
 		}
@@ -216,6 +248,41 @@ func (p *Pipeline) World(i int) *WorldEmitter { return p.emitters[i] }
 
 // Worlds returns the number of worlds the pipeline was sized for.
 func (p *Pipeline) Worlds() int { return len(p.emitters) }
+
+// ConsumerStats is one consumer's point-in-time progress through the
+// merged stream: how many batches and records it has finished, how many
+// sit in its channel right now, and its total batch lag behind the
+// merge (queued plus in-flight).
+type ConsumerStats struct {
+	Name       string
+	Batches    uint64
+	Records    uint64
+	QueueDepth int
+	Lag        uint64
+}
+
+// ConsumerStats snapshots every consumer's progress, in registration
+// order. Safe to call while the pipeline runs — each field loads
+// atomically (fields are not mutually consistent mid-batch). Consumers
+// that implement Name() string report it; others get "consumerN".
+func (p *Pipeline) ConsumerStats() []ConsumerStats {
+	out := make([]ConsumerStats, len(p.runners))
+	for i, r := range p.runners {
+		sent, consumed := r.sent.Load(), r.consumed.Load()
+		lag := uint64(0)
+		if sent > consumed { // racing loads: dispatch may land between them
+			lag = sent - consumed
+		}
+		out[i] = ConsumerStats{
+			Name:       r.name,
+			Batches:    consumed,
+			Records:    r.records.Load(),
+			QueueDepth: len(r.ch),
+			Lag:        lag,
+		}
+	}
+	return out
+}
 
 // Wait blocks until every world's stream has been merged and every
 // consumer has consumed it and closed, then returns the first consumer

@@ -1,0 +1,127 @@
+// The query API's slice of the observability plane: per-endpoint
+// request counters and service-latency histograms, collect-on-scrape
+// bridges over the store/cache counters the serving path already keeps,
+// and the two exposition endpoints (/metrics Prometheus text,
+// /debug/vars JSON) that render this server's registry together with
+// the process-wide obs.Default one — one pane of glass per process.
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"tagsim/internal/cloud"
+	"tagsim/internal/obs"
+)
+
+// endpointMetrics is one endpoint's instrumentation, resolved once at
+// registration so the request path never touches the registry.
+type endpointMetrics struct {
+	latency *obs.Histogram
+	codes   [6]*obs.Counter // indexed by status/100 ("2xx" is codes[2])
+}
+
+// statusRecorder captures the handler's status code. Pooled; only the
+// methods the handlers use are forwarded.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
+// handle registers an instrumented endpoint: a serve_latency_seconds
+// histogram and serve_requests_total counters by status class, both
+// labeled by endpoint. With metrics disabled the wrapper is one atomic
+// flag load — no clock reads, no recorder.
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	m := &endpointMetrics{
+		latency: s.reg.Histogram("serve_latency_seconds", obs.L("endpoint", endpoint)),
+	}
+	for c := 2; c <= 5; c++ {
+		m.codes[c] = s.reg.Counter("serve_requests_total",
+			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(c)+"xx"))
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if !obs.Enabled() {
+			h(w, r)
+			return
+		}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
+		t0 := time.Now()
+		h(rec, r)
+		m.latency.Observe(time.Since(t0))
+		if c := rec.status / 100; c >= 2 && c <= 5 {
+			m.codes[c].Inc()
+		}
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
+	})
+}
+
+// registerCollectors bridges the counters the serving path already
+// keeps — per-vendor and per-shard store counters, hot-cache
+// effectiveness — into the server's registry as collect-on-scrape
+// series. Nothing here adds work to the hot path; every value is read
+// only when /metrics or /debug/vars renders.
+func (s *Server) registerCollectors() {
+	r := s.reg
+	r.Help("store_accepted_total", "reports accepted by the vendor store")
+	r.Help("store_rejected_total", "reports rejected by the rate cap or monotonicity")
+	r.Help("serve_latency_seconds", "service latency by endpoint")
+	r.Help("serve_requests_total", "requests by endpoint and status class")
+	r.Help("cache_hits_total", "hot-tag cache probes answered by a valid entry")
+	for _, svc := range s.svcs {
+		svc := svc
+		vendor := obs.L("vendor", svc.Vendor().String())
+		r.CounterFunc("store_accepted_total", func() uint64 { a, _ := svc.Stats(); return a }, vendor)
+		r.CounterFunc("store_rejected_total", func() uint64 { _, j := svc.Stats(); return j }, vendor)
+		r.GaugeFunc("store_tags", func() float64 { return float64(svc.NumTags()) }, vendor)
+		for i := 0; i < svc.NumShards(); i++ {
+			i := i
+			shard := obs.L("shard", strconv.Itoa(i))
+			r.CounterFunc("store_shard_accepted_total",
+				func() uint64 { return svc.ShardStats(i).Accepted }, vendor, shard)
+			r.CounterFunc("store_shard_rejected_total",
+				func() uint64 { return svc.ShardStats(i).Rejected }, vendor, shard)
+			r.CounterFunc("store_shard_epoch",
+				func() uint64 { return svc.ShardStats(i).Epoch }, vendor, shard)
+			r.GaugeFunc("store_shard_tags",
+				func() float64 { return float64(svc.ShardStats(i).Tags) }, vendor, shard)
+		}
+	}
+	r.CounterFunc("cache_hits_total", func() uint64 { return s.cache.Stats().Hits })
+	r.CounterFunc("cache_misses_total", func() uint64 { return s.cache.Stats().Misses })
+	r.CounterFunc("cache_fills_total", func() uint64 { return s.cache.Stats().Fills })
+	r.CounterFunc("cache_invalidations_total", func() uint64 { return s.cache.Stats().Invalidations })
+}
+
+// Metrics returns the server's registry, so the embedding command can
+// add its own collectors (cmd/tagserve registers the live pipeline's
+// consumer lag there) and render them on the same pane.
+func (s *Server) Metrics() *obs.Registry { return s.reg }
+
+// CacheStats exposes the hot-tag cache counters (also on /v1/stats).
+func (s *Server) CacheStats() cloud.CacheStats { return s.cache.Stats() }
+
+// handleMetrics renders the server registry plus the process-wide
+// default one in the Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WritePrometheus(w, s.reg, obs.Default)
+}
+
+// handleVars renders the same snapshot as one flat JSON object, in the
+// spirit of expvar's /debug/vars.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteJSON(w, s.reg, obs.Default)
+}

@@ -35,6 +35,7 @@ import (
 
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
 	"tagsim/internal/trace"
 )
 
@@ -46,6 +47,12 @@ type Server struct {
 	combined cloud.Combined
 	vendors  []trace.Vendor // sorted, for stable /v1/stats output
 	cache    *cloud.HotCache
+	// reg is this server's metric registry: per-endpoint latency
+	// histograms and request counters plus collect-on-scrape bridges
+	// over the store and cache counters. Per-instance (not obs.Default)
+	// so the many short-lived stores a campaign builds never pile up
+	// stale series in the process registry.
+	reg *obs.Registry
 }
 
 // NewServer builds the query service over per-vendor backends. The
@@ -63,11 +70,15 @@ func NewServer(services map[trace.Vendor]*cloud.Service) *Server {
 	sort.Slice(s.svcs, func(i, j int) bool { return s.svcs[i].Vendor() < s.svcs[j].Vendor() })
 	s.combined = cloud.Combined(s.svcs)
 	s.cache = cloud.NewHotCache(services, 0)
-	s.mux.HandleFunc("GET /v1/lastknown", s.handleLastKnown)
-	s.mux.HandleFunc("GET /v1/history", s.handleHistory)
-	s.mux.HandleFunc("GET /v1/track", s.handleTrack)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/report", s.handleReport)
+	s.reg = obs.NewRegistry()
+	s.handle("GET /v1/lastknown", "lastknown", s.handleLastKnown)
+	s.handle("GET /v1/history", "history", s.handleHistory)
+	s.handle("GET /v1/track", "track", s.handleTrack)
+	s.handle("GET /v1/stats", "stats", s.handleStats)
+	s.handle("POST /v1/report", "report", s.handleReport)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.registerCollectors()
 	return s
 }
 
@@ -120,9 +131,13 @@ type VendorStats struct {
 	Rejected uint64 `json:"rejected"`
 }
 
-// StatsResponse aggregates every vendor's counters.
+// StatsResponse aggregates every vendor's counters plus the hot-tag
+// cache's effectiveness counters — the runtime decomposition of the
+// cached read path (how much of the query mass the cache absorbs, and
+// whether misses come from writes or collisions).
 type StatsResponse struct {
-	Vendors []VendorStats `json:"vendors"`
+	Vendors []VendorStats    `json:"vendors"`
+	Cache   cloud.CacheStats `json:"cache"`
 }
 
 // IngestResponse answers POST /v1/report.
@@ -402,6 +417,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Vendor: v.String(), Tags: svc.NumTags(), Accepted: acc, Rejected: rej,
 		})
 	}
+	resp.Cache = s.cache.Stats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

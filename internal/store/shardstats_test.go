@@ -1,0 +1,46 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"tagsim/internal/trace"
+)
+
+// TestShardStatsSumToTotals pins the per-shard counter decomposition:
+// summing Accepted/Rejected/Tags across shards must reproduce the
+// store-wide Stats and NumTags, and every shard that holds tags must
+// have a non-zero epoch (each accept bumps its shard's epoch).
+func TestShardStatsSumToTotals(t *testing.T) {
+	s := newCloudlike(8)
+	for _, r := range stream(16, 400) {
+		s.Ingest(r)
+		r.T = r.T.Add(time.Second) // within the rate cap: rejected
+		s.Ingest(r)
+	}
+	// Restore counts as accepted too.
+	s.Restore([]trace.Report{report(t0.Add(time.Hour), "restored-tag", pos)})
+
+	var accepted, rejected uint64
+	var tags int
+	for i := 0; i < s.NumShards(); i++ {
+		st := s.ShardStats(i)
+		accepted += st.Accepted
+		rejected += st.Rejected
+		tags += st.Tags
+		if st.Tags > 0 && st.Epoch == 0 {
+			t.Errorf("shard %d holds %d tags but epoch is 0", i, st.Tags)
+		}
+	}
+	wantAcc, wantRej := s.Stats()
+	if accepted != wantAcc || rejected != wantRej {
+		t.Fatalf("shard sums accepted=%d rejected=%d, store totals %d/%d",
+			accepted, rejected, wantAcc, wantRej)
+	}
+	if wantAcc == 0 || wantRej == 0 {
+		t.Fatalf("stream exercised only one outcome: accepted=%d rejected=%d", wantAcc, wantRej)
+	}
+	if tags != s.NumTags() {
+		t.Fatalf("shard tag sum %d, NumTags %d", tags, s.NumTags())
+	}
+}

@@ -115,7 +115,12 @@ type shard struct {
 	// its entries on it: any bump invalidates every cached answer for
 	// tags on this shard.
 	epoch atomic.Uint64
-	_     [24]byte
+	// accepted/rejected mirror the store totals per shard, feeding the
+	// observability plane's per-shard series (hot-shard skew is invisible
+	// in the totals). Bumped under mu like the totals.
+	accepted atomic.Uint64
+	rejected atomic.Uint64
+	_        [8]byte
 }
 
 // tagState is one tag's state cell. The mutable fields are owned by the
@@ -334,6 +339,7 @@ func (s *Store) Ingest(r trace.Report) bool {
 	st, created := sh.stateLocked(r.TagID)
 	if st.hasLast && (!at.After(st.lastAt) || at.Sub(st.lastAt) < s.MinUpdateInterval) {
 		s.rejected.Add(1)
+		sh.rejected.Add(1)
 		if created {
 			sh.epoch.Add(1)
 		}
@@ -349,6 +355,7 @@ func (s *Store) Ingest(r trace.Report) bool {
 	st.publish()
 	sh.epoch.Add(1)
 	s.accepted.Add(1)
+	sh.accepted.Add(1)
 	sh.mu.Unlock()
 	return true
 }
@@ -376,6 +383,7 @@ func (s *Store) Restore(reports []trace.Report) {
 		st.publish()
 		sh.epoch.Add(1)
 		s.accepted.Add(1)
+		sh.accepted.Add(1)
 		sh.mu.Unlock()
 	}
 }
@@ -493,6 +501,32 @@ func (s *Store) NumTags() int {
 // ingest; use Snapshot for a consistent pair.
 func (s *Store) Stats() (accepted, rejected uint64) {
 	return s.accepted.Load(), s.rejected.Load()
+}
+
+// ShardStats is one shard's slice of the store counters — the unit the
+// observability plane exports so hot-shard skew (a Zipf head hashing
+// onto one shard) shows up in monitoring instead of averaging away.
+type ShardStats struct {
+	Accepted uint64
+	Rejected uint64
+	Epoch    uint64
+	Tags     int
+}
+
+// ShardStats returns shard i's counters. The atomics load lock-free;
+// the tag count briefly takes the shard lock (scrape path, not hot
+// path). Panics if i is out of range, like a slice index.
+func (s *Store) ShardStats(i int) ShardStats {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	tags := len(sh.allLocked())
+	sh.mu.Unlock()
+	return ShardStats{
+		Accepted: sh.accepted.Load(),
+		Rejected: sh.rejected.Load(),
+		Epoch:    sh.epoch.Load(),
+		Tags:     tags,
+	}
 }
 
 // TagSnapshot is one tag's state inside a Snapshot.

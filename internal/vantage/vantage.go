@@ -9,6 +9,7 @@ package vantage
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"tagsim/internal/geo"
@@ -52,14 +53,16 @@ type VantagePoint struct {
 	mobility mobility.Model
 	rng      *rand.Rand
 
-	buffer   []trace.GroundTruth
-	records  []trace.GroundTruth
-	lastFix  geo.LatLon
-	lastAt   time.Time
-	hasFix   bool
-	uploaded int
-	flushes  int
-	offline  int
+	buffer  []trace.GroundTruth
+	records []trace.GroundTruth
+	lastFix geo.LatLon
+	lastAt  time.Time
+	hasFix  bool
+	// Upload diagnostics are atomics so Stats can be read (by a live
+	// serve loop or metrics logger) while the engine drives Flush.
+	uploaded atomic.Int64
+	flushes  atomic.Int64
+	offline  atomic.Int64
 
 	// Tap, when set, observes each successfully uploaded fix batch (in
 	// fix-time order) — the streaming campaign pipeline's hook into the
@@ -127,12 +130,12 @@ func (v *VantagePoint) Sample(now time.Time) {
 
 // Flush attempts to upload the buffer at the given virtual time.
 func (v *VantagePoint) Flush(now time.Time) {
-	v.flushes++
+	v.flushes.Add(1)
 	if len(v.buffer) == 0 {
 		return
 	}
 	if v.cfg.OnlineProb < 1 && v.rng.Float64() >= v.cfg.OnlineProb {
-		v.offline++
+		v.offline.Add(1)
 		return // no connection: keep buffering
 	}
 	for i := range v.buffer {
@@ -144,7 +147,7 @@ func (v *VantagePoint) Flush(now time.Time) {
 	if !v.Discard {
 		v.records = append(v.records, v.buffer...)
 	}
-	v.uploaded += len(v.buffer)
+	v.uploaded.Add(int64(len(v.buffer)))
 	v.buffer = v.buffer[:0]
 }
 
@@ -158,7 +161,8 @@ func (v *VantagePoint) Records() []trace.GroundTruth { return v.records }
 func (v *VantagePoint) PendingBuffered() int { return len(v.buffer) }
 
 // Stats returns upload diagnostics: total fixes uploaded, flush attempts,
-// and flushes skipped offline.
+// and flushes skipped offline. Safe to call concurrently with a running
+// engine — each load is atomic.
 func (v *VantagePoint) Stats() (uploaded, flushes, offline int) {
-	return v.uploaded, v.flushes, v.offline
+	return int(v.uploaded.Load()), int(v.flushes.Load()), int(v.offline.Load())
 }

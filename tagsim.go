@@ -33,6 +33,7 @@ import (
 	"tagsim/internal/geo"
 	"tagsim/internal/load"
 	"tagsim/internal/mobility"
+	"tagsim/internal/obs"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
@@ -264,6 +265,13 @@ type (
 	// HotTagCache is the bounded, epoch-validated cache the query API
 	// serves hot /v1/lastknown and /v1/track answers from.
 	HotTagCache = cloud.HotCache
+	// LatencyHistogram is the lock-free log-bucketed histogram the obs
+	// plane records durations in (LoadConfig.Latency plugs one into the
+	// load generator's per-request timing).
+	LatencyHistogram = obs.Histogram
+	// Registry is a named collection of obs series rendered by /metrics
+	// and /debug/vars.
+	Registry = obs.Registry
 )
 
 var (
@@ -297,6 +305,15 @@ var (
 	// SetHotCache toggles the query plane's hot-tag caching (default
 	// on). It returns the previous setting.
 	SetHotCache = cloud.SetHotCache
+	// SetMetrics toggles every obs counter, gauge, and histogram update
+	// process-wide (default on; the always-on metrics escape hatch). It
+	// returns the previous setting.
+	SetMetrics = obs.SetEnabled
+	// MetricsEnabled reports whether obs updates are currently on.
+	MetricsEnabled = obs.Enabled
+	// MetricsRegistry is the process-wide obs registry (plane totals:
+	// scan ticks, pipeline throughput); serve.Server keeps its own.
+	MetricsRegistry = obs.Default
 )
 
 // Streaming campaign pipeline: the live data path from the radio plane
