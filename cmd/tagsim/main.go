@@ -7,15 +7,20 @@
 //	tagsim -scenario wild|cafeteria -seed N -out DIR [-scale F] [-workers N] [-replicates N]
 //
 // -workers fans the wild campaign's country worlds across CPUs (0 = one
-// per CPU) without changing any output. -replicates N > 1 runs the wild
-// campaign from N derived seeds and writes each replicate's traces under
-// DIR/repNNN/. -reportlog additionally streams every cloud-accepted
-// report to DIR/reports.col in the binary columnar format as the
-// simulation runs (see internal/pipeline; tagsim.ReadReportsColumnar
-// reads it back). -metrics-every D logs the process-wide metrics
-// snapshot (scan ticks, pipeline throughput — the obs.Default registry)
-// to stderr every D while the scenario runs, plus once at the end —
-// the headless campaign's progress view.
+// per CPU) without changing any output; -scan-workers additionally
+// region-shards each world's scan tick across a pool (also
+// output-preserving). -replicates N > 1 runs the wild campaign from N
+// derived seeds and writes each replicate's traces under DIR/repNNN/.
+// -reportlog additionally streams every cloud-accepted report to
+// DIR/reports.col in the binary columnar format as the simulation runs
+// (see internal/pipeline; tagsim.ReadReportsColumnar reads it back);
+// -truthlog does the same for ground-truth GPS fixes into
+// DIR/truth.col, the columnar spill format behind
+// tagsim.SetResidentTruth. -metrics-every D logs the process-wide
+// metrics snapshot (scan ticks, region scan latency, truth-spill bytes,
+// pipeline throughput — the obs.Default registry) to stderr every D
+// while the scenario runs, plus once at the end — the headless
+// campaign's progress view.
 package main
 
 import (
@@ -40,8 +45,10 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "wild campaign scale")
 	fleetScale := flag.Float64("fleet-scale", 1, "reporting-fleet size multiplier (residents, pedestrians, staff, neighbors, co-travelers)")
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = one per CPU, 1 = sequential)")
+	scanWorkers := flag.Int("scan-workers", 0, "region-shard each world's scan tick across this many workers (0 = serial)")
 	replicates := flag.Int("replicates", 1, "wild campaign replicates to run from derived seeds")
 	reportLog := flag.Bool("reportlog", false, "stream accepted cloud reports to DIR/reports.col (columnar) during the wild run")
+	truthLog := flag.Bool("truthlog", false, "stream ground-truth GPS fixes to DIR/truth.col (columnar) during the wild run")
 	metricsEvery := flag.Duration("metrics-every", 0, "log the process metrics snapshot to stderr at this period (0 disables)")
 	out := flag.String("out", "traces", "output directory")
 	flag.Parse()
@@ -55,7 +62,7 @@ func main() {
 	}
 	switch *scenarioName {
 	case "wild":
-		runWild(*seed, *scale, *fleetScale, *workers, *replicates, *reportLog, *out)
+		runWild(*seed, *scale, *fleetScale, *workers, *scanWorkers, *replicates, *reportLog, *truthLog, *out)
 	case "cafeteria":
 		runCafeteria(*seed, *out)
 	default:
@@ -91,29 +98,47 @@ func startMetricsLogger(every time.Duration) (stop func()) {
 	}
 }
 
-func runWild(seed int64, scale, fleetScale float64, workers, replicates int, reportLog bool, out string) {
-	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, FleetScale: fleetScale, Workers: workers}
+func runWild(seed int64, scale, fleetScale float64, workers, scanWorkers, replicates int, reportLog, truthLog bool, out string) {
+	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, FleetScale: fleetScale, Workers: workers, ScanWorkers: scanWorkers}
 	run := func(cfg tagsim.WildConfig, dir string) *tagsim.WildResult {
-		if !reportLog {
+		if !reportLog && !truthLog {
 			return tagsim.RunWild(cfg)
 		}
-		// Stream the accepted-report log to disk while the campaign
+		// Stream the requested columnar logs to disk while the campaign
 		// runs; StreamRetain keeps the in-world datasets so the CSV
 		// dumps are unchanged.
-		path := filepath.Join(dir, "reports.col")
-		f, err := os.Create(path)
-		if err != nil {
-			log.Fatal(err)
+		var sinks []pipeline.Consumer
+		var files []*os.File
+		var paths []string
+		addSink := func(name string, mk func(f *os.File) pipeline.Consumer) {
+			path := filepath.Join(dir, name)
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sinks = append(sinks, mk(f))
+			files = append(files, f)
+			paths = append(paths, path)
 		}
-		defer f.Close()
-		pl := pipeline.New(len(tagsim.PlanWild(cfg)), pipeline.Config{}, pipeline.NewReportSink(f, 0))
+		if reportLog {
+			addSink("reports.col", func(f *os.File) pipeline.Consumer { return pipeline.NewReportSink(f, 0) })
+		}
+		if truthLog {
+			addSink("truth.col", func(f *os.File) pipeline.Consumer { return pipeline.NewTruthSink(f, 0) })
+		}
+		pl := pipeline.New(len(tagsim.PlanWild(cfg)), pipeline.Config{}, sinks...)
 		cfg.Stream = pl
 		cfg.StreamRetain = true
 		res := tagsim.RunWild(cfg)
 		if err := pl.Wait(); err != nil {
-			log.Fatalf("report log: %v", err)
+			log.Fatalf("columnar log: %v", err)
 		}
-		log.Printf("wrote %s", path)
+		for i, f := range files {
+			if err := f.Close(); err != nil {
+				log.Fatalf("close %s: %v", paths[i], err)
+			}
+			log.Printf("wrote %s", paths[i])
+		}
 		return res
 	}
 	if replicates <= 1 {

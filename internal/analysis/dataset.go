@@ -45,9 +45,13 @@ func (ds *Dataset) CrawlsFor(v trace.Vendor) []trace.CrawlRecord {
 }
 
 // TruthIndex answers "where was the vantage point at time t" from the
-// recorded ground truth, interpolating between fixes.
+// recorded ground truth, interpolating between fixes. It is backed
+// either by a resident time-sorted fix slice (NewTruthIndex) or by a
+// disk-backed columnar store read through a bounded cursor
+// (NewDiskTruthIndex) — queries answer identically either way.
 type TruthIndex struct {
 	fixes []trace.GroundTruth
+	disk  *diskTruth // non-nil for disk-backed indexes; fixes is then nil
 	// MaxGap bounds interpolation: instants farther than MaxGap from any
 	// fix have no ground truth (the phone was off or GPS-denied).
 	MaxGap time.Duration
@@ -61,19 +65,67 @@ func NewTruthIndex(fixes []trace.GroundTruth) *TruthIndex {
 }
 
 // Len returns the number of fixes.
-func (ti *TruthIndex) Len() int { return len(ti.fixes) }
+func (ti *TruthIndex) Len() int {
+	if ti.disk != nil {
+		return ti.disk.store.Total()
+	}
+	return len(ti.fixes)
+}
 
 // Span returns the time range covered by the fixes.
 func (ti *TruthIndex) Span() (from, to time.Time, ok bool) {
+	if ti.disk != nil {
+		return ti.disk.span()
+	}
 	if len(ti.fixes) == 0 {
 		return time.Time{}, time.Time{}, false
 	}
 	return ti.fixes[0].T, ti.fixes[len(ti.fixes)-1].T, true
 }
 
+// truthAtEdge resolves a query before the first or after the last fix:
+// clamp to the edge fix when within maxGap of it.
+func truthAtEdge(edge trace.GroundTruth, t time.Time, maxGap time.Duration) (geo.LatLon, bool) {
+	d := edge.T.Sub(t)
+	if d < 0 {
+		d = -d
+	}
+	if d > maxGap {
+		return geo.LatLon{}, false
+	}
+	return edge.Pos, true
+}
+
+// truthAtBetween resolves a query bracketed by two fixes: interpolate
+// across small gaps, fall back to the nearer fix across large ones
+// (stationary periods record no fixes because only changes are kept).
+// Shared by the resident and disk backends so they cannot drift.
+func truthAtBetween(prev, next trace.GroundTruth, t time.Time, maxGap time.Duration) (geo.LatLon, bool) {
+	dPrev, dNext := t.Sub(prev.T), next.T.Sub(t)
+	gap := next.T.Sub(prev.T)
+	if gap <= maxGap {
+		// Interpolate along the movement between the fixes.
+		frac := float64(dPrev) / float64(gap)
+		return geo.Lerp(prev.Pos, next.Pos, frac), true
+	}
+	if dPrev <= dNext {
+		if dPrev > maxGap {
+			return geo.LatLon{}, false
+		}
+		return prev.Pos, true
+	}
+	if dNext > maxGap {
+		return geo.LatLon{}, false
+	}
+	return next.Pos, true
+}
+
 // At returns the vantage point's position at time t, interpolating between
 // the bracketing fixes. ok is false when t falls in a coverage gap.
 func (ti *TruthIndex) At(t time.Time) (geo.LatLon, bool) {
+	if ti.disk != nil {
+		return ti.disk.at(t, ti.MaxGap)
+	}
 	n := len(ti.fixes)
 	if n == 0 {
 		return geo.LatLon{}, false
@@ -81,41 +133,19 @@ func (ti *TruthIndex) At(t time.Time) (geo.LatLon, bool) {
 	i := sort.Search(n, func(k int) bool { return !ti.fixes[k].T.Before(t) })
 	switch {
 	case i == 0:
-		if ti.fixes[0].T.Sub(t) > ti.MaxGap {
-			return geo.LatLon{}, false
-		}
-		return ti.fixes[0].Pos, true
+		return truthAtEdge(ti.fixes[0], t, ti.MaxGap)
 	case i == n:
-		if t.Sub(ti.fixes[n-1].T) > ti.MaxGap {
-			return geo.LatLon{}, false
-		}
-		return ti.fixes[n-1].Pos, true
+		return truthAtEdge(ti.fixes[n-1], t, ti.MaxGap)
 	}
-	prev, next := ti.fixes[i-1], ti.fixes[i]
-	dPrev, dNext := t.Sub(prev.T), next.T.Sub(t)
-	gap := next.T.Sub(prev.T)
-	if gap <= ti.MaxGap {
-		// Interpolate along the movement between the fixes.
-		frac := float64(dPrev) / float64(gap)
-		return geo.Lerp(prev.Pos, next.Pos, frac), true
-	}
-	// Large gap: fall back to the nearer fix if it is close enough
-	// (stationary periods record no fixes because only changes are kept).
-	if dPrev <= dNext {
-		if dPrev > ti.MaxGap {
-			return geo.LatLon{}, false
-		}
-		return prev.Pos, true
-	}
-	if dNext > ti.MaxGap {
-		return geo.LatLon{}, false
-	}
-	return next.Pos, true
+	return truthAtBetween(ti.fixes[i-1], ti.fixes[i], t, ti.MaxGap)
 }
 
 // HasCoverage reports whether any fix falls within [from, to), or the
 // window is bracketed by fixes at most MaxGap apart (a stationary period).
 func (ti *TruthIndex) HasCoverage(from, to time.Time) bool {
+	if ti.disk != nil {
+		return ti.disk.hasCoverage(from, to, ti.MaxGap)
+	}
 	n := len(ti.fixes)
 	i := sort.Search(n, func(k int) bool { return !ti.fixes[k].T.Before(from) })
 	if i < n && ti.fixes[i].T.Before(to) {
@@ -164,53 +194,88 @@ func (ti *TruthIndex) AvgSpeedKmh(from, to time.Time) (float64, bool) {
 	return geo.MsToKmh(dist / covered.Seconds()), true
 }
 
-// DetectHomes finds the participant's overnight locations (homes, hotels —
-// "any place they slept overnight"): positions observed during the
-// overnight window (00:00-06:00), clustered within clusterRadiusM, kept
-// only when the cluster accumulates at least 30 minutes of overnight
-// presence. The dwell requirement separates sleeping places from clusters
-// a midnight walk home would otherwise scatter along the route.
-func DetectHomes(fixes []trace.GroundTruth, clusterRadiusM float64) []geo.LatLon {
+// HomeDetector finds the participant's overnight locations (homes,
+// hotels — "any place they slept overnight") incrementally: positions
+// observed during the overnight window (00:00-06:00), clustered within
+// clusterRadiusM, kept only when the cluster accumulates at least 30
+// minutes of overnight presence. The dwell requirement separates
+// sleeping places from clusters a midnight walk home would otherwise
+// scatter along the route. Feeding fixes one batch at a time (the
+// truth-spill path) produces exactly what DetectHomes computes over the
+// concatenation — the clustering is a single forward pass and carries
+// no lookahead.
+type HomeDetector struct {
+	clusterRadiusM float64
+	clusters       []homeCluster
+}
+
+type homeCluster struct {
+	anchor geo.LatLon
+	dwell  time.Duration
+	lastAt time.Time
+}
+
+// NewHomeDetector builds a detector (clusterRadiusM <= 0 means the
+// paper's 300 m).
+func NewHomeDetector(clusterRadiusM float64) *HomeDetector {
 	if clusterRadiusM <= 0 {
 		clusterRadiusM = 300
 	}
-	const minDwell = 30 * time.Minute
-	type cluster struct {
-		anchor geo.LatLon
-		dwell  time.Duration
-		lastAt time.Time
+	return &HomeDetector{clusterRadiusM: clusterRadiusM}
+}
+
+// Add feeds one fix, in fix-time order.
+func (hd *HomeDetector) Add(f trace.GroundTruth) {
+	if f.T.UTC().Hour() >= 6 {
+		return
 	}
-	var clusters []*cluster
-	for _, f := range fixes {
-		h := f.T.UTC().Hour()
-		if h >= 6 {
-			continue
-		}
-		placed := false
-		for _, c := range clusters {
-			if geo.Distance(c.anchor, f.Pos) <= clusterRadiusM {
-				gap := f.T.Sub(c.lastAt)
-				if gap > 0 && gap <= 10*time.Minute {
-					// Contiguous presence (stationary periods record
-					// sparse fixes, so allow generous gaps).
-					c.dwell += gap
-				}
-				c.lastAt = f.T
-				placed = true
-				break
+	for i := range hd.clusters {
+		c := &hd.clusters[i]
+		if geo.Distance(c.anchor, f.Pos) <= hd.clusterRadiusM {
+			gap := f.T.Sub(c.lastAt)
+			if gap > 0 && gap <= 10*time.Minute {
+				// Contiguous presence (stationary periods record
+				// sparse fixes, so allow generous gaps).
+				c.dwell += gap
 			}
-		}
-		if !placed {
-			clusters = append(clusters, &cluster{anchor: f.Pos, lastAt: f.T})
+			c.lastAt = f.T
+			return
 		}
 	}
+	hd.clusters = append(hd.clusters, homeCluster{anchor: f.Pos, lastAt: f.T})
+}
+
+// Homes returns the clusters that accumulated enough overnight dwell.
+func (hd *HomeDetector) Homes() []geo.LatLon {
+	const minDwell = 30 * time.Minute
 	var homes []geo.LatLon
-	for _, c := range clusters {
+	for _, c := range hd.clusters {
 		if c.dwell >= minDwell {
 			homes = append(homes, c.anchor)
 		}
 	}
 	return homes
+}
+
+// DetectHomes is the batch form of HomeDetector over a fix slice.
+func DetectHomes(fixes []trace.GroundTruth, clusterRadiusM float64) []geo.LatLon {
+	hd := NewHomeDetector(clusterRadiusM)
+	for _, f := range fixes {
+		hd.Add(f)
+	}
+	return hd.Homes()
+}
+
+// NearAnyHome reports whether pos lies within radiusM of any home — the
+// per-record predicate behind FilterNearHomes, exported so streaming
+// paths can filter without materializing slices.
+func NearAnyHome(pos geo.LatLon, homes []geo.LatLon, radiusM float64) bool {
+	for _, h := range homes {
+		if geo.Distance(pos, h) <= radiusM {
+			return true
+		}
+	}
+	return false
 }
 
 // FilterNearHomes drops fixes within radiusM of any home, returning the
@@ -225,14 +290,7 @@ func FilterNearHomes(fixes []trace.GroundTruth, homes []geo.LatLon, radiusM floa
 	}
 	kept = make([]trace.GroundTruth, 0, len(fixes))
 	for _, f := range fixes {
-		near := false
-		for _, h := range homes {
-			if geo.Distance(f.Pos, h) <= radiusM {
-				near = true
-				break
-			}
-		}
-		if !near {
+		if !NearAnyHome(f.Pos, homes, radiusM) {
 			kept = append(kept, f)
 		}
 	}

@@ -85,11 +85,22 @@ func NewIndex(truth *TruthIndex, reports []trace.CrawlRecord) *Index {
 			ix.distM[i] = geo.Distance(pos, r.Pos)
 		}
 	}
-	ix.fixTimes = make([]int64, len(truth.fixes))
+	// The coverage columns need only fix instants, never positions. A
+	// disk-backed truth index streams its time column once into the
+	// resident fixTimes (8 B per fix versus ~128 B for the struct it
+	// replaces), so the built Index stays lock-free for concurrent
+	// figure sweeps even over spilled truth; a resident index converts
+	// its fixes in place.
+	if truth.disk != nil {
+		ix.fixTimes = truth.disk.fixTimes()
+	} else {
+		ix.fixTimes = make([]int64, len(truth.fixes))
+		for i, f := range truth.fixes {
+			ix.fixTimes[i] = f.T.UnixNano()
+		}
+	}
 	maxGap := int64(truth.MaxGap)
-	for i, f := range truth.fixes {
-		t := f.T.UnixNano()
-		ix.fixTimes[i] = t
+	for _, t := range ix.fixTimes {
 		lo, hi := t-maxGap, t+maxGap
 		if n := len(ix.cover); n > 0 && lo <= ix.cover[n-1].hi {
 			if hi > ix.cover[n-1].hi {

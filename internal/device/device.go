@@ -203,26 +203,47 @@ func (s Strategy) HearProb(beaconsInWindow, decodeProb float64) float64 {
 // later, alternating report bursts with silence (which the Figure 3/4
 // update-rate plateaus rule out).
 func (d *Device) ShouldReport(tagID string, now time.Time, rng *rand.Rand) (delay time.Duration, ok bool) {
+	var next int64
+	if t, seen := d.nextEligible[tagID]; seen {
+		next = t.UnixNano()
+	}
+	newNext, delay, ok := d.ReportDecision(now, next, rng)
+	if newNext != next {
+		d.nextEligible[tagID] = time.Unix(0, newNext).UTC()
+	}
+	return delay, ok
+}
+
+// ReportDecision is ShouldReport over caller-owned eligibility state:
+// next is this (device, tag) pair's next-eligible instant in unix nanos
+// (0 = never considered), and the returned newNext replaces it. The
+// region-sharded scan tick uses this form — each worker owns its tags'
+// eligibility slots outright, so concurrent tags never race on a shared
+// device map — while ShouldReport remains the map-backed wrapper.
+//
+// The draw sequence and every stored instant are identical between the
+// two entry points (ShouldReport delegates here), which is what keeps
+// the sharded scan byte-identical to the historical serial path.
+func (d *Device) ReportDecision(now time.Time, next int64, rng *rand.Rand) (newNext int64, delay time.Duration, ok bool) {
 	s := d.Strategy
-	if next, seen := d.nextEligible[tagID]; seen && now.Before(next) {
-		return 0, false
+	nowNs := now.UnixNano()
+	if next != 0 && nowNs < next {
+		return next, 0, false
 	}
 	if rng.Float64() >= s.ReportProb {
-		d.nextEligible[tagID] = now.Add(time.Duration(rng.Float64() * 0.5 * float64(s.Cooldown)))
-		return 0, false
+		return nowNs + int64(time.Duration(rng.Float64()*0.5*float64(s.Cooldown))), 0, false
 	}
 	if rng.Float64() >= d.OnlineProb {
 		// Offline: retry within a few minutes.
-		d.nextEligible[tagID] = now.Add(time.Duration(1+rng.Intn(4)) * time.Minute)
-		return 0, false
+		return nowNs + int64(time.Duration(1+rng.Intn(4))*time.Minute), 0, false
 	}
-	d.nextEligible[tagID] = now.Add(time.Duration((0.75 + 0.5*rng.Float64()) * float64(s.Cooldown)))
+	newNext = nowNs + int64(time.Duration((0.75+0.5*rng.Float64())*float64(s.Cooldown)))
 	spread := s.UploadDelayMax - s.UploadDelayMin
 	delay = s.UploadDelayMin
 	if spread > 0 {
 		delay += time.Duration(rng.Int63n(int64(spread)))
 	}
-	return delay, true
+	return newNext, delay, true
 }
 
 // ResetCooldowns clears the per-tag reporting state (used when reusing

@@ -48,9 +48,12 @@ type Fleet struct {
 	overflow   []int32 // ascending device indices with roam > roamCap
 	roamCap    float64 // max roam bound among grid-indexed devices
 
-	// scratch collects candidate indices per query; reusing it makes Near
-	// allocation-free but not safe for concurrent queries on one Fleet.
+	// scratch collects gathered cell buckets per query and idx the
+	// resulting candidate indices; reusing them makes Near
+	// allocation-free but not safe for concurrent queries on one Fleet
+	// (concurrent readers use Searcher, which owns its own scratch).
 	scratch []int32
+	idx     []int32
 }
 
 // gridDisabled turns off grid construction process-wide; every query then
@@ -225,8 +228,57 @@ func (f *Fleet) CountByVendor() map[trace.Vendor]int {
 //
 // Near reuses per-fleet scratch space and is not safe for concurrent
 // queries on the same Fleet (the simulation is single-goroutine per
-// world; give concurrent readers their own fleets).
+// world; concurrent readers of one fleet use Searcher instead).
 func (f *Fleet) Near(pos geo.LatLon, t time.Time, radiusM float64, dst []*Device) []*Device {
+	f.idx = f.nearIdx(&f.scratch, pos, t, radiusM, f.idx[:0])
+	for _, i := range f.idx {
+		dst = append(dst, f.devices[i])
+	}
+	return dst
+}
+
+// NearIndices is Near returning device indices instead of pointers —
+// the form region-sharded scan workers consume, because an index keys
+// per-(tag, device) state without a map of pointers. Same ordering and
+// concurrency contract as Near.
+func (f *Fleet) NearIndices(pos geo.LatLon, t time.Time, radiusM float64, dst []int32) []int32 {
+	return f.nearIdx(&f.scratch, pos, t, radiusM, dst)
+}
+
+// NearBrute is the reference linear roam-bound scan over every device —
+// the pre-index implementation, kept as the equivalence oracle for
+// property tests and as the recorded benchmark baseline.
+func (f *Fleet) NearBrute(pos geo.LatLon, t time.Time, radiusM float64, dst []*Device) []*Device {
+	qx, qy := f.enu.Forward(pos)
+	f.idx = f.nearLinear(qx, qy, t, radiusM, f.idx[:0])
+	for _, i := range f.idx {
+		dst = append(dst, f.devices[i])
+	}
+	return dst
+}
+
+// Searcher owns the scratch space of one query stream, so several
+// goroutines can query one Fleet concurrently — each worker of the
+// region-sharded scan tick holds its own. The underlying fleet data is
+// immutable after construction; the only shared mutable state in a
+// query is scratch, which the Searcher privatizes.
+type Searcher struct {
+	f     *Fleet
+	cells []int32
+}
+
+// Searcher returns a new independent query stream over the fleet.
+func (f *Fleet) Searcher() *Searcher { return &Searcher{f: f} }
+
+// NearIndices is Fleet.NearIndices on this searcher's private scratch.
+func (s *Searcher) NearIndices(pos geo.LatLon, t time.Time, radiusM float64, dst []int32) []int32 {
+	return s.f.nearIdx(&s.cells, pos, t, radiusM, dst)
+}
+
+// nearIdx is the query core shared by every entry point: it appends the
+// ascending candidate indices to dst, using *cells for the grid-bucket
+// gather (caller-owned, so concurrent query streams never collide).
+func (f *Fleet) nearIdx(cells *[]int32, pos geo.LatLon, t time.Time, radiusM float64, dst []int32) []int32 {
 	qx, qy := f.enu.Forward(pos)
 	if f.cellStart == nil {
 		return f.nearLinear(qx, qy, t, radiusM, dst)
@@ -248,27 +300,20 @@ func (f *Fleet) Near(pos geo.LatLon, t time.Time, radiusM float64, dst []*Device
 		// gathering plus sorting would cost more than the plain scan.
 		return f.nearLinear(qx, qy, t, radiusM, dst)
 	}
-	f.scratch = f.scratch[:0]
+	gathered := (*cells)[:0]
 	for cy := cy0; cy <= cy1; cy++ {
 		row := cy * f.nx
-		f.scratch = append(f.scratch, f.cellIdx[f.cellStart[row+cx0]:f.cellStart[row+cx1+1]]...)
+		gathered = append(gathered, f.cellIdx[f.cellStart[row+cx0]:f.cellStart[row+cx1+1]]...)
 	}
+	*cells = gathered
 	// Rows are gathered in ascending-cell order but indices interleave
 	// across rows; restore global device order before the checks so the
 	// downstream RNG draw order matches the linear scan exactly.
-	slices.Sort(f.scratch)
-	return f.mergeCheck(f.scratch, f.overflow, qx, qy, t, radiusM, dst)
+	slices.Sort(gathered)
+	return f.mergeCheck(gathered, f.overflow, qx, qy, t, radiusM, dst)
 }
 
-// NearBrute is the reference linear roam-bound scan over every device —
-// the pre-index implementation, kept as the equivalence oracle for
-// property tests and as the recorded benchmark baseline.
-func (f *Fleet) NearBrute(pos geo.LatLon, t time.Time, radiusM float64, dst []*Device) []*Device {
-	qx, qy := f.enu.Forward(pos)
-	return f.nearLinear(qx, qy, t, radiusM, dst)
-}
-
-func (f *Fleet) nearLinear(qx, qy float64, t time.Time, radiusM float64, dst []*Device) []*Device {
+func (f *Fleet) nearLinear(qx, qy float64, t time.Time, radiusM float64, dst []int32) []int32 {
 	for i := range f.devices {
 		dst = f.checkCandidate(int32(i), qx, qy, t, radiusM, dst)
 	}
@@ -278,7 +323,7 @@ func (f *Fleet) nearLinear(qx, qy float64, t time.Time, radiusM float64, dst []*
 // mergeCheck walks two ascending index lists in merged order, applying
 // the roam-bound test to each — the grid path's equivalent of the linear
 // scan's single pass. Either list may be nil.
-func (f *Fleet) mergeCheck(a, b []int32, qx, qy float64, t time.Time, radiusM float64, dst []*Device) []*Device {
+func (f *Fleet) mergeCheck(a, b []int32, qx, qy float64, t time.Time, radiusM float64, dst []int32) []int32 {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if a[i] < b[j] {
@@ -303,7 +348,7 @@ func (f *Fleet) mergeCheck(a, b []int32, qx, qy float64, t time.Time, radiusM fl
 // The planar distance test runs first because it is three float ops
 // against Active's four time comparisons; the admission condition is a
 // commutative conjunction, so the candidate set is order-independent.
-func (f *Fleet) checkCandidate(i int32, qx, qy float64, t time.Time, radiusM float64, dst []*Device) []*Device {
+func (f *Fleet) checkCandidate(i int32, qx, qy float64, t time.Time, radiusM float64, dst []int32) []int32 {
 	reach := f.roamM[i] + radiusM
 	if !math.IsInf(reach, 1) {
 		dx := f.xs[i] - qx
@@ -312,8 +357,8 @@ func (f *Fleet) checkCandidate(i int32, qx, qy float64, t time.Time, radiusM flo
 			return dst
 		}
 	}
-	if d := f.devices[i]; d.Active(t) {
-		dst = append(dst, d)
+	if f.devices[i].Active(t) {
+		dst = append(dst, i)
 	}
 	return dst
 }
@@ -323,6 +368,7 @@ type GridStats struct {
 	Indexed  int     // devices bucketed into grid cells
 	Overflow int     // devices on the linear overflow list
 	Cells    int     // total grid cells (nx*ny)
+	Rows     int     // grid rows (ny) — the maximum usable scan-region count
 	CellM    float64 // cell edge length in meters
 	RoamCapM float64 // roam bound cap for grid-indexed devices
 }
@@ -337,6 +383,7 @@ func (f *Fleet) GridStats() GridStats {
 		Indexed:  len(f.cellIdx),
 		Overflow: len(f.overflow),
 		Cells:    f.nx * f.ny,
+		Rows:     f.ny,
 		CellM:    f.cellSizeM,
 		RoamCapM: f.roamCap,
 	}

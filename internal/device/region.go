@@ -1,0 +1,54 @@
+package device
+
+import (
+	"tagsim/internal/geo"
+)
+
+// Regions partitions the fleet's ENU grid into contiguous bands of grid
+// rows — the unit of work the region-sharded scan tick distributes over
+// pooled workers. A band is a pure spatial key: Of maps any position to
+// the band its clamped grid row falls in, so tags standing in different
+// bands query disjoint neighborhoods of the grid (plus the shared,
+// read-only overflow list) and can be scanned concurrently.
+//
+// Regions carries no mutable state; values are safe to copy and use
+// from any goroutine.
+type Regions struct {
+	f       *Fleet
+	rowsPer int
+	count   int
+}
+
+// Regions partitions the grid into at most n row bands. Fleets without
+// a grid (or single-row grids), and n <= 1, collapse to one region —
+// the caller's cue that sharding has nothing to shard.
+func (f *Fleet) Regions(n int) Regions {
+	if f.cellStart == nil || f.ny <= 1 || n <= 1 {
+		return Regions{f: f, rowsPer: 1, count: 1}
+	}
+	if n > f.ny {
+		n = f.ny
+	}
+	rowsPer := (f.ny + n - 1) / n
+	return Regions{f: f, rowsPer: rowsPer, count: (f.ny + rowsPer - 1) / rowsPer}
+}
+
+// Count returns the number of bands (>= 1).
+func (r Regions) Count() int {
+	if r.count < 1 {
+		return 1
+	}
+	return r.count
+}
+
+// Of maps a position to its band in [0, Count()). Positions outside the
+// grid clamp to the nearest row, exactly as cell bucketing does.
+func (r Regions) Of(pos geo.LatLon) int {
+	if r.count <= 1 {
+		return 0
+	}
+	f := r.f
+	_, qy := f.enu.Forward(pos)
+	cy := clampInt(int((qy-f.minY)/f.cellSizeM), 0, f.ny-1)
+	return cy / r.rowsPer
+}

@@ -86,17 +86,17 @@ func benchTags(nTags int, diskM float64) ([]*tag.Tag, map[trace.Vendor]*cloud.Se
 // baseline that BENCH_scan.json's "before" numbers record. The
 // per-candidate radio/strategy/report pipeline is byte-for-byte the
 // shipping one, so the delta isolates the refactor.
-func legacyScanOnce(p *Plane, now time.Time) {
+func legacyScanOnce(p *Plane, buf []*device.Device, now time.Time) []*device.Device {
 	for _, tg := range p.tags {
 		tagPos := tg.Pos(now)
 		beacons := tg.ExpectedBeacons(p.cfg.ScanInterval)
 		tg.CountBeacons(uint64(beacons))
-		p.buf = p.fleet.NearBrute(tagPos, now, p.cfg.MaxRangeM, p.buf[:0])
-		if len(p.buf) == 0 {
+		buf = p.fleet.NearBrute(tagPos, now, p.cfg.MaxRangeM, buf[:0])
+		if len(buf) == 0 {
 			continue
 		}
 		rng := p.engine.RNG(scanStreamName(tg.ID, now))
-		for _, dev := range p.buf {
+		for _, dev := range buf {
 			if !dev.Reports(tg.Profile.Vendor, p.cfg.CrossEcosystem) {
 				continue
 			}
@@ -138,6 +138,7 @@ func legacyScanOnce(p *Plane, now time.Time) {
 			})
 		}
 	}
+	return buf
 }
 
 // BenchmarkScanOnce sweeps the encounter hot path over fleet sizes and
@@ -168,12 +169,13 @@ func BenchmarkScanOnce(b *testing.B) {
 					e := sim.NewEngine(t0, 1)
 					p := New(Config{}, e, fleet, tags, services)
 					p.ScanOnce(t0) // warm buffers
+					legacyBuf := make([]*device.Device, 0, 256)
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						at := t0.Add(time.Duration(i+1) * 30 * time.Second)
 						if mode == "legacy" {
-							legacyScanOnce(p, at)
+							legacyBuf = legacyScanOnce(p, legacyBuf, at)
 						} else {
 							p.ScanOnce(at)
 						}
@@ -181,6 +183,40 @@ func BenchmarkScanOnce(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkScanRegions measures the region-sharded tick at continental
+// shapes: a city-shaped fleet at constant density with 64 tags scattered
+// across it, swept over worker counts. One op is a full scan tick. The
+// fleet is built once per size (inside the fleet-level sub-benchmark, so
+// -bench filters skip construction of the sizes they exclude) and shared
+// across worker counts — the plane owns all mutable scan state, so each
+// sub-benchmark starts from identical conditions. BENCH_world.json
+// records this sweep; on a single-vCPU host the worker sweep documents
+// the scheduling overhead floor rather than a speedup.
+func BenchmarkScanRegions(b *testing.B) {
+	for _, nDev := range []int{60000, 600000, 1000000} {
+		nDev := nDev
+		b.Run(fmt.Sprintf("fleet=%d", nDev), func(b *testing.B) {
+			devices := benchFleet(nDev)
+			radius := 2000 * math.Sqrt(float64(nDev)/600)
+			fleet := device.NewFleet(origin, devices)
+			for _, workers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					tags, services := benchTags(64, radius)
+					e := sim.NewEngine(t0, 7)
+					p := New(Config{ScanWorkers: workers}, e, fleet, tags, services)
+					defer p.Close()
+					p.ScanOnce(t0) // warm buffers
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						p.ScanOnce(t0.Add(time.Duration(i+1) * 30 * time.Second))
+					}
+				})
+			}
+		})
 	}
 }
 

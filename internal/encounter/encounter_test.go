@@ -54,7 +54,7 @@ func buildWorld(nApple, nSamsung int, distM float64, cfg Config) *world {
 		trace.VendorSamsung: samsung,
 	}
 	plane := New(cfg, e, fleet, []*tag.Tag{air, smart}, services)
-	plane.KeepLog = true
+	plane.RetainLog = true
 	plane.Attach(t0)
 	return &world{engine: e, plane: plane, apple: apple, samsung: samsung, airTag: air, smartTag: smart}
 }
@@ -268,7 +268,7 @@ func TestScanStream(t *testing.T) {
 	} {
 		for i, tg := range p.tags {
 			key := []byte(instant.UTC().Format(time.RFC3339Nano))
-			fast := p.stream.Reseed(p.tagSeed[i].Bytes(key).Seed())
+			fast := p.scratch[0].stream.Reseed(p.tagSeed[i].Bytes(key).Seed())
 			legacy := p.engine.RNG(scanStreamName(tg.ID, instant))
 			for d := 0; d < 16; d++ {
 				if f, l := fast.Float64(), legacy.Float64(); f != l {

@@ -32,6 +32,9 @@ type Options struct {
 	// replicates, figure computations) run concurrently: 0 means one per
 	// CPU, 1 is fully sequential. Results are identical for any value.
 	Workers int
+	// ScanWorkers region-shards each world's scan tick (0 = serial).
+	// Results are identical for any value — see scenario.WildConfig.
+	ScanWorkers int
 }
 
 // DefaultOptions is sized to regenerate every figure in tens of seconds.
@@ -47,6 +50,7 @@ func (o Options) wildConfig() scenario.WildConfig {
 		DevicesPerCity: o.DevicesPerCity,
 		FleetScale:     o.FleetScale,
 		Workers:        o.Workers,
+		ScanWorkers:    o.ScanWorkers,
 	}
 }
 

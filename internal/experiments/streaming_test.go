@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 
+	"tagsim/internal/analysis"
 	"tagsim/internal/cloud"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/scenario"
@@ -131,6 +133,108 @@ func TestStreamingMemoryFootprint(t *testing.T) {
 		t.Errorf("streamed campaign resident heap %.1f MB exceeds batch %.1f MB", float64(streamHeap)/(1<<20), float64(batchHeap)/(1<<20))
 	}
 	runtime.KeepAlive(streamC)
+}
+
+// withResidentTruth runs fn with the truth-spill toggle forced.
+func withResidentTruth(t *testing.T, resident bool, fn func()) {
+	t.Helper()
+	was := analysis.SetResidentTruth(resident)
+	defer analysis.SetResidentTruth(was)
+	fn()
+}
+
+// renderSpillSafeFigures renders the wild-campaign artifacts that read
+// ground truth only through the TruthIndex/Index query surface (At,
+// coverage, speed) — everything except the raw-fix consumers (Figures
+// 6-7 and the headline episode picker, which need resident truth).
+func renderSpillSafeFigures(c *Campaign) string {
+	var b strings.Builder
+	b.WriteString(Table1(c).Render())
+	for _, radius := range []float64{10, 25, 100} {
+		b.WriteString(Figure5Sweep(c, radius).Render())
+	}
+	b.WriteString(Figure5d(c).Render())
+	b.WriteString(Figure5e(c).Render())
+	b.WriteString(Figure5f(c).Render())
+	b.WriteString(Figure8(c).Render())
+	return b.String()
+}
+
+// TestTruthSpillCampaignEquivalence is the disk-backed-truth acceptance
+// gate: a campaign whose ground truth spills to columnar temp files must
+// reproduce the resident campaign's analysis state (truth size and span,
+// home filter, homes) and render every spill-safe figure byte-identically.
+func TestTruthSpillCampaignEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments are slow")
+	}
+	var resident, spilled *Campaign
+	withStreaming(t, true, func() {
+		withResidentTruth(t, true, func() { resident = NewCampaign(tinyOpts(67, 0)) })
+		withResidentTruth(t, false, func() { spilled = NewCampaign(tinyOpts(67, 0)) })
+	})
+	defer spilled.Truth.Close()
+
+	if got, want := spilled.Truth.Len(), resident.Truth.Len(); got != want {
+		t.Errorf("truth fixes: spilled %d, resident %d", got, want)
+	}
+	sf, st, sok := spilled.Truth.Span()
+	rf, rt, rok := resident.Truth.Span()
+	if sok != rok || !sf.Equal(rf) || !st.Equal(rt) {
+		t.Errorf("truth span: spilled (%v,%v,%v), resident (%v,%v,%v)", sf, st, sok, rf, rt, rok)
+	}
+	if spilled.RemovedFrac != resident.RemovedFrac {
+		t.Errorf("removed fraction: spilled %v, resident %v", spilled.RemovedFrac, resident.RemovedFrac)
+	}
+	if !reflect.DeepEqual(spilled.Homes, resident.Homes) {
+		t.Errorf("homes differ: spilled %d, resident %d", len(spilled.Homes), len(resident.Homes))
+	}
+	if got, want := renderSpillSafeFigures(spilled), renderSpillSafeFigures(resident); got != want {
+		t.Errorf("spill-safe figures diverged:\nspilled:\n%s\nresident:\n%s", got, want)
+	}
+	// The documented trade: raw fixes are on disk, not in the datasets.
+	if len(spilled.Merged.GroundTruth) != 0 {
+		t.Errorf("spilled campaign retained %d raw fixes in the merged dataset", len(spilled.Merged.GroundTruth))
+	}
+}
+
+// TestTruthSpillMemoryFootprint measures the campaign-resident heap with
+// truth resident versus spilled. Informational like its streaming
+// sibling — BENCH_world.json records the numbers from a larger run — but
+// the structural claim is asserted: the spilled campaign holds no raw
+// fix slices.
+func TestTruthSpillMemoryFootprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments are slow")
+	}
+	build := func(residentTruth bool) (c *Campaign, heap uint64) {
+		withStreaming(t, true, func() {
+			withResidentTruth(t, residentTruth, func() {
+				c = NewCampaign(Options{Seed: 73, Scale: 0.1, DevicesPerCity: 200})
+			})
+		})
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return c, ms.HeapAlloc
+	}
+	residentC, residentHeap := build(true)
+	fixes := residentC.Truth.Len()
+	residentC = nil
+	runtime.GC()
+	spilledC, spilledHeap := build(false)
+	defer spilledC.Truth.Close()
+	if got := spilledC.Truth.Len(); got != fixes {
+		t.Errorf("spilled campaign indexed %d fixes, resident %d", got, fixes)
+	}
+	for _, cr := range spilledC.Result.Countries {
+		if len(cr.Dataset.GroundTruth) != 0 {
+			t.Errorf("%s: spilled campaign retained %d raw fixes", cr.Spec.Code, len(cr.Dataset.GroundTruth))
+		}
+	}
+	t.Logf("resident heap: truth-resident %.1f MB, truth-spilled %.1f MB (%d fixes on disk)",
+		float64(residentHeap)/(1<<20), float64(spilledHeap)/(1<<20), fixes)
+	runtime.KeepAlive(spilledC)
 }
 
 // liveServices builds fresh serving stores like cmd/tagserve does.

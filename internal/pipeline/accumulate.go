@@ -2,6 +2,8 @@ package pipeline
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"tagsim/internal/analysis"
 	"tagsim/internal/geo"
@@ -66,11 +68,12 @@ type CampaignState struct {
 // fresh world-scope Deduper per (world, vendor) (matching the isolated
 // per-country dedup of Figure 7's country datasets).
 type CampaignAccumulator struct {
-	workers int
-	worlds  []*worldAcc
-	cur     int // world currently streaming (merge delivers in order)
-	camp    map[trace.Vendor]*vendorAcc
-	state   *CampaignState
+	workers  int
+	worlds   []*worldAcc
+	cur      int // world currently streaming (merge delivers in order)
+	camp     map[trace.Vendor]*vendorAcc
+	spilling bool // ground truth spills to disk (analysis.SetResidentTruth(false))
+	state    *CampaignState
 }
 
 // vendorAcc is one dedup scope for one vendor.
@@ -87,19 +90,78 @@ func (va *vendorAcc) add(rec trace.CrawlRecord) {
 	}
 }
 
-// worldAcc is one world's in-flight accumulation.
+// worldAcc is one world's in-flight accumulation. In spill mode (see
+// analysis.SetResidentTruth) fixes stays nil: ground truth streams to
+// an anonymous temp file through the columnar truth writer, and homes
+// are detected by the incremental detector as the fixes pass by.
 type worldAcc struct {
 	fixes  []trace.GroundTruth
-	crawls map[trace.Vendor]*vendorAcc
+	spill  *truthSpillFile
 	homes  []geo.LatLon
+	crawls map[trace.Vendor]*vendorAcc
 	done   bool
+}
+
+// truthSpillFile is one world's ground-truth spill: an already-unlinked
+// temp file (no disk entry survives a crash) written through the
+// columnar writer, plus the streaming home detector fed in lockstep.
+type truthSpillFile struct {
+	f       *os.File
+	w       *TruthWriter
+	homeDet *analysis.HomeDetector
+	size    int64
+}
+
+func newTruthSpillFile() (*truthSpillFile, error) {
+	f, err := os.CreateTemp("", "tagsim-truth-*.col")
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: truth spill: %w", err)
+	}
+	// Unlink immediately: the fd keeps the data alive and the entry
+	// cannot leak, even on a crash.
+	os.Remove(f.Name())
+	return &truthSpillFile{f: f, w: NewTruthWriter(f, 0), homeDet: analysis.NewHomeDetector(300)}, nil
+}
+
+func (ts *truthSpillFile) append(fixes []trace.GroundTruth) error {
+	if err := ts.w.Append(fixes...); err != nil {
+		return err
+	}
+	for _, f := range fixes {
+		ts.homeDet.Add(f)
+	}
+	return nil
+}
+
+// finish closes the writer and returns a streaming reader over the
+// world's spilled fixes.
+func (ts *truthSpillFile) finish() error {
+	if err := ts.w.Close(); err != nil {
+		return err
+	}
+	size, err := ts.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	ts.size = size
+	return nil
+}
+
+func (ts *truthSpillFile) reader() (*TruthReader, error) {
+	return NewTruthReader(io.NewSectionReader(ts.f, 0, ts.size))
 }
 
 // NewCampaignAccumulator builds the consumer for a campaign of the
 // given world count. workers bounds the Close-time index-build fan-out
-// (0 = one per CPU).
+// (0 = one per CPU). The resident-vs-spill mode for ground truth is
+// sampled once here from analysis.ResidentTruth, so a mid-campaign
+// toggle cannot mix backends.
 func NewCampaignAccumulator(worlds, workers int) *CampaignAccumulator {
-	a := &CampaignAccumulator{workers: workers, camp: make(map[trace.Vendor]*vendorAcc)}
+	a := &CampaignAccumulator{
+		workers:  workers,
+		camp:     make(map[trace.Vendor]*vendorAcc),
+		spilling: !analysis.ResidentTruth(),
+	}
 	for i := 0; i < worlds; i++ {
 		a.worlds = append(a.worlds, &worldAcc{crawls: make(map[trace.Vendor]*vendorAcc)})
 	}
@@ -115,7 +177,20 @@ func (a *CampaignAccumulator) Consume(b Batch) error {
 		return fmt.Errorf("pipeline: world %d batch while world %d still streaming", b.World, a.cur)
 	}
 	wa := a.worlds[b.World]
-	wa.fixes = append(wa.fixes, b.Fixes...)
+	if a.spilling {
+		if wa.spill == nil {
+			ts, err := newTruthSpillFile()
+			if err != nil {
+				return err
+			}
+			wa.spill = ts
+		}
+		if err := wa.spill.append(b.Fixes); err != nil {
+			return err
+		}
+	} else {
+		wa.fixes = append(wa.fixes, b.Fixes...)
+	}
 	for _, rec := range b.Crawls {
 		ca, ok := a.camp[rec.Vendor]
 		if !ok {
@@ -131,7 +206,16 @@ func (a *CampaignAccumulator) Consume(b Batch) error {
 		wv.add(rec)
 	}
 	if b.Final {
-		wa.homes = analysis.DetectHomes(wa.fixes, 300)
+		if a.spilling {
+			if wa.spill != nil {
+				if err := wa.spill.finish(); err != nil {
+					return err
+				}
+				wa.homes = wa.spill.homeDet.Homes()
+			}
+		} else {
+			wa.homes = analysis.DetectHomes(wa.fixes, 300)
+		}
 		wa.done = true
 		a.cur++
 	}
@@ -166,10 +250,24 @@ func (a *CampaignAccumulator) Close() error {
 	for v, ca := range a.camp {
 		mergedCrawls[v] = ca.distinct
 	}
-	kept, removed := analysis.FilterNearHomes(allFixes, st.Homes, 300)
-	st.Truth = analysis.NewTruthIndex(kept)
-	st.RemovedFrac = removed
-	st.Merged = analysis.NewDataset(allFixes, mergedCrawls)
+	if a.spilling {
+		truth, removed, err := a.mergeSpilledTruth(st.Homes)
+		if err != nil {
+			return err
+		}
+		st.Truth = truth
+		st.RemovedFrac = removed
+		// Raw-fix consumers (headline episodes, hexagon figures,
+		// per-country dataset reattachment) see empty ground truth in
+		// spill mode; the accuracy plane runs entirely through the
+		// TruthIndex and Index columns built below.
+		st.Merged = analysis.NewDataset(nil, mergedCrawls)
+	} else {
+		kept, removed := analysis.FilterNearHomes(allFixes, st.Homes, 300)
+		st.Truth = analysis.NewTruthIndex(kept)
+		st.RemovedFrac = removed
+		st.Merged = analysis.NewDataset(allFixes, mergedCrawls)
+	}
 	// Per-vendor home filter + index builds are independent read-only
 	// passes; fan them out like the batch campaign does.
 	type vendorPlane struct {
@@ -186,6 +284,137 @@ func (a *CampaignAccumulator) Close() error {
 	}
 	a.state = st
 	return nil
+}
+
+// truthCursor walks one world's spilled truth frame by frame.
+type truthCursor struct {
+	r     *TruthReader
+	frame []trace.GroundTruth
+	pos   int
+}
+
+// head returns the cursor's current fix; ok is false when drained.
+func (c *truthCursor) head() (trace.GroundTruth, bool) {
+	if c.pos < len(c.frame) {
+		return c.frame[c.pos], true
+	}
+	return trace.GroundTruth{}, false
+}
+
+// fill loads frames until the cursor has a head or drains.
+func (c *truthCursor) fill() error {
+	for c.pos >= len(c.frame) {
+		frame, err := c.r.Next()
+		if err == io.EOF {
+			c.frame, c.pos = nil, 0
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		c.frame, c.pos = frame, 0
+	}
+	return nil
+}
+
+// ownedSection is a closeable ReaderAt over a spill file: closing the
+// truth store (via TruthIndex.Close) releases the fd of the unlinked
+// temp file, which is the file's last reference.
+type ownedSection struct {
+	*io.SectionReader
+	f *os.File
+}
+
+func (o ownedSection) Close() error { return o.f.Close() }
+
+// mergeSpilledTruth streams every world's spilled ground truth through
+// one k-way time-ordered merge, dropping fixes near any campaign home
+// (the same 300 m filter the resident path applies), into a final
+// sorted columnar log — the file the campaign's disk-backed TruthIndex
+// then serves At/HasCoverage queries from. Peak memory is one frame per
+// world plus the output frame, regardless of campaign size. Ties on the
+// fix instant break by world order, matching the concatenation order
+// the resident path sorts.
+func (a *CampaignAccumulator) mergeSpilledTruth(homes []geo.LatLon) (*analysis.TruthIndex, float64, error) {
+	var cursors []*truthCursor
+	for _, wa := range a.worlds {
+		if wa.spill == nil {
+			continue
+		}
+		r, err := wa.spill.reader()
+		if err != nil {
+			return nil, 0, err
+		}
+		c := &truthCursor{r: r}
+		if err := c.fill(); err != nil {
+			return nil, 0, err
+		}
+		cursors = append(cursors, c)
+	}
+	out, err := os.CreateTemp("", "tagsim-truth-merged-*.col")
+	if err != nil {
+		return nil, 0, fmt.Errorf("pipeline: truth merge: %w", err)
+	}
+	os.Remove(out.Name())
+	w := NewTruthWriter(out, 0)
+	var total, kept int
+	for {
+		best := -1
+		var bestT int64
+		for i, c := range cursors {
+			f, ok := c.head()
+			if !ok {
+				continue
+			}
+			if t := f.T.UnixNano(); best == -1 || t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best == -1 {
+			break
+		}
+		c := cursors[best]
+		f, _ := c.head()
+		c.pos++
+		if err := c.fill(); err != nil {
+			out.Close()
+			return nil, 0, err
+		}
+		total++
+		if analysis.NearAnyHome(f.Pos, homes, 300) {
+			continue
+		}
+		kept++
+		if err := w.Append(f); err != nil {
+			out.Close()
+			return nil, 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		out.Close()
+		return nil, 0, err
+	}
+	// The per-world spill files are fully drained; release their fds.
+	for _, wa := range a.worlds {
+		if wa.spill != nil {
+			wa.spill.f.Close()
+		}
+	}
+	size, err := out.Seek(0, io.SeekCurrent)
+	if err != nil {
+		out.Close()
+		return nil, 0, err
+	}
+	tf, err := OpenTruthFile(ownedSection{io.NewSectionReader(out, 0, size), out}, size)
+	if err != nil {
+		out.Close()
+		return nil, 0, err
+	}
+	var removed float64
+	if total > 0 {
+		removed = float64(total-kept) / float64(total)
+	}
+	return analysis.NewDiskTruthIndex(tf), removed, nil
 }
 
 // State returns the assembled campaign state. Valid only after the

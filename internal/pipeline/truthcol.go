@@ -1,0 +1,607 @@
+package pipeline
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"tagsim/internal/obs"
+	"tagsim/internal/trace"
+)
+
+// The columnar ground-truth log is the report log's sibling for GPS
+// tracks: a continental-scale campaign records hundreds of millions of
+// vantage fixes, and holding them resident (~128 B each as structs)
+// defeats the bounded-memory pipeline. Fixes spill to disk as they
+// stream and the analysis plane reads them back through a seekable
+// cursor (analysis.NewDiskTruthIndex), never holding more than a frame
+// window.
+//
+// Layout (little-endian throughout):
+//
+//	file  := magic dataFrame* indexBlock trailer
+//	magic := "TAGGTC1\n" (8 bytes)
+//	dataFrame := u32 payloadBytes | payload        -- length-prefixed
+//	payload :=
+//	    u32 count
+//	    i64 t[count]          -- GroundTruth.T, unix nanos
+//	    i64 uploadedAt[count] -- GroundTruth.UploadedAt, unix nanos
+//	    u64 lat[count]        -- math.Float64bits
+//	    u64 lon[count]
+//	    u64 speedKmh[count]
+//	    strcol vantageID
+//	strcol := (u32 len | bytes)*count
+//	indexBlock := u32 0xFFFFFFFF | u32 payloadBytes | payload
+//	index payload := u32 frameCount | (u64 offset | u32 count | i64 firstT | i64 lastT)*frameCount
+//	trailer := u64 indexOffset | "TAGGTCX\n" (8 bytes)
+//
+// The time column leads each frame so a cursor can decode just the
+// times (TruthFile.FrameTimes) without touching positions or strings.
+// Streaming readers stop at the index sentinel — 0xFFFFFFFF can never
+// be a data frame's length (it exceeds maxFrameBytes) — while seekable
+// readers jump to the index via the fixed-size trailer and then serve
+// random frame access through io.ReaderAt.
+const (
+	truthLogMagic     = "TAGGTC1\n"
+	truthTrailerMagic = "TAGGTCX\n"
+	truthIndexMark    = 0xFFFFFFFF
+)
+
+// obsTruthSpill counts bytes written to columnar ground-truth logs
+// across the process (magic, frames, index, and trailer included).
+var obsTruthSpill = obs.GetCounter("truth_spill_bytes_total")
+
+// TruthFrame is one data frame's index entry: where it starts (the
+// offset of its length prefix), how many fixes it holds, and the frame's
+// first and last fix instants (unix nanos).
+type TruthFrame struct {
+	Offset int64
+	Count  int
+	FirstT int64
+	LastT  int64
+}
+
+// TruthWriter encodes ground-truth fixes into the columnar log. Strict
+// writers (NewTruthWriter) enforce non-decreasing fix times, which is
+// what entitles readers to binary-search the frame index; the pipeline's
+// TruthSink relaxes this for raw multi-world export logs, whose index
+// OpenTruthFile then refuses. Not safe for concurrent use.
+type TruthWriter struct {
+	w          *bufio.Writer
+	batch      []trace.GroundTruth
+	flushEvery int
+	strict     bool
+	off        int64 // logical bytes written (magic + frames)
+	frames     []TruthFrame
+	lastT      int64
+	hasLast    bool
+	wroteMagic bool
+	closed     bool
+}
+
+// NewTruthWriter builds a strict (time-sorted) writer framing every
+// flushEvery fixes (<= 0 means DefaultSinkFlush).
+func NewTruthWriter(w io.Writer, flushEvery int) *TruthWriter {
+	if flushEvery <= 0 {
+		flushEvery = DefaultSinkFlush
+	}
+	return &TruthWriter{w: bufio.NewWriter(w), flushEvery: flushEvery, strict: true}
+}
+
+// Append adds fixes to the current frame, writing frames as the
+// threshold fills. Strict writers reject a fix earlier than its
+// predecessor.
+func (w *TruthWriter) Append(fixes ...trace.GroundTruth) error {
+	if w.closed {
+		return fmt.Errorf("pipeline: append to closed TruthWriter")
+	}
+	for _, f := range fixes {
+		t := f.T.UnixNano()
+		if w.strict && w.hasLast && t < w.lastT {
+			return fmt.Errorf("pipeline: truth log requires non-decreasing fix times (%v after %v)",
+				f.T, time.Unix(0, w.lastT).UTC())
+		}
+		w.lastT, w.hasLast = t, true
+		w.batch = append(w.batch, f)
+		if len(w.batch) >= w.flushEvery {
+			if err := w.writeFrame(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Close writes the final partial frame, the frame index, and the
+// trailer, then flushes. It does not close the underlying writer.
+func (w *TruthWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.batch) > 0 {
+		if err := w.writeFrame(); err != nil {
+			return err
+		}
+	}
+	if !w.wroteMagic {
+		w.wroteMagic = true
+		if _, err := w.w.WriteString(truthLogMagic); err != nil {
+			return err
+		}
+		w.off += int64(len(truthLogMagic))
+	}
+	indexOffset := w.off
+	var scratch [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := w.w.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := w.w.Write(scratch[:8])
+		return err
+	}
+	if err := putU32(truthIndexMark); err != nil {
+		return err
+	}
+	if err := putU32(uint32(4 + len(w.frames)*(8+4+8+8))); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(w.frames))); err != nil {
+		return err
+	}
+	for _, fr := range w.frames {
+		if err := putU64(uint64(fr.Offset)); err != nil {
+			return err
+		}
+		if err := putU32(uint32(fr.Count)); err != nil {
+			return err
+		}
+		if err := putU64(uint64(fr.FirstT)); err != nil {
+			return err
+		}
+		if err := putU64(uint64(fr.LastT)); err != nil {
+			return err
+		}
+	}
+	if err := putU64(uint64(indexOffset)); err != nil {
+		return err
+	}
+	if _, err := w.w.WriteString(truthTrailerMagic); err != nil {
+		return err
+	}
+	obsTruthSpill.Add(uint64(4 + 4 + 4 + len(w.frames)*(8+4+8+8) + 8 + len(truthTrailerMagic)))
+	return w.w.Flush()
+}
+
+func (w *TruthWriter) writeFrame() error {
+	if !w.wroteMagic {
+		w.wroteMagic = true
+		if _, err := w.w.WriteString(truthLogMagic); err != nil {
+			return err
+		}
+		w.off += int64(len(truthLogMagic))
+		obsTruthSpill.Add(uint64(len(truthLogMagic)))
+	}
+	fs := w.batch
+	payload := 4 // count
+	payload += len(fs) * (8 + 8 + 8 + 8 + 8)
+	for _, f := range fs {
+		payload += 4 + len(f.VantageID)
+	}
+	if payload > maxFrameBytes {
+		return fmt.Errorf("pipeline: truth frame of %d fixes is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(fs), payload, maxFrameBytes)
+	}
+	var scratch [8]byte
+	putU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := w.w.Write(scratch[:4])
+		return err
+	}
+	putU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := w.w.Write(scratch[:8])
+		return err
+	}
+	if err := putU32(uint32(payload)); err != nil {
+		return err
+	}
+	if err := putU32(uint32(len(fs))); err != nil {
+		return err
+	}
+	for _, f := range fs {
+		if err := putU64(uint64(f.T.UnixNano())); err != nil {
+			return err
+		}
+	}
+	for _, f := range fs {
+		if err := putU64(uint64(f.UploadedAt.UnixNano())); err != nil {
+			return err
+		}
+	}
+	for _, f := range fs {
+		if err := putU64(math.Float64bits(f.Pos.Lat)); err != nil {
+			return err
+		}
+	}
+	for _, f := range fs {
+		if err := putU64(math.Float64bits(f.Pos.Lon)); err != nil {
+			return err
+		}
+	}
+	for _, f := range fs {
+		if err := putU64(math.Float64bits(f.SpeedKmh)); err != nil {
+			return err
+		}
+	}
+	for _, f := range fs {
+		if err := putU32(uint32(len(f.VantageID))); err != nil {
+			return err
+		}
+		if _, err := w.w.WriteString(f.VantageID); err != nil {
+			return err
+		}
+	}
+	w.frames = append(w.frames, TruthFrame{
+		Offset: w.off,
+		Count:  len(fs),
+		FirstT: fs[0].T.UnixNano(),
+		LastT:  fs[len(fs)-1].T.UnixNano(),
+	})
+	w.off += int64(4 + payload)
+	obsTruthSpill.Add(uint64(4 + payload))
+	w.batch = w.batch[:0]
+	return nil
+}
+
+// WriteTruth one-shots a fix slice into the columnar format — the batch
+// path's dump. Bytes are identical to a TruthWriter streaming the same
+// fix sequence at the same flushEvery.
+func WriteTruth(w io.Writer, fixes []trace.GroundTruth, flushEvery int) error {
+	tw := NewTruthWriter(w, flushEvery)
+	if err := tw.Append(fixes...); err != nil {
+		return err
+	}
+	return tw.Close()
+}
+
+// decodeTruthFrame decodes one data frame payload.
+func decodeTruthFrame(payload []byte, dst []trace.GroundTruth) ([]trace.GroundTruth, error) {
+	off := 0
+	u32 := func() (uint32, error) {
+		if off+4 > len(payload) {
+			return 0, fmt.Errorf("pipeline: truth frame underrun at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if off+8 > len(payload) {
+			return 0, fmt.Errorf("pipeline: truth frame underrun at byte %d", off)
+		}
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v, nil
+	}
+	count, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	fixed := int(count) * (8 + 8 + 8 + 8 + 8)
+	if fixed < 0 || off+fixed > len(payload) {
+		return nil, fmt.Errorf("pipeline: truth frame count %d exceeds payload", count)
+	}
+	out := dst[:0]
+	for i := 0; i < int(count); i++ {
+		out = append(out, trace.GroundTruth{})
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].T = time.Unix(0, int64(v)).UTC()
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].UploadedAt = time.Unix(0, int64(v)).UTC()
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].Pos.Lat = math.Float64frombits(v)
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].Pos.Lon = math.Float64frombits(v)
+	}
+	for i := range out {
+		v, _ := u64()
+		out[i].SpeedKmh = math.Float64frombits(v)
+	}
+	for i := range out {
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if off+int(n) > len(payload) {
+			return nil, fmt.Errorf("pipeline: truth string column underrun at byte %d", off)
+		}
+		out[i].VantageID = string(payload[off : off+int(n)])
+		off += int(n)
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("pipeline: %d trailing bytes in truth frame", len(payload)-off)
+	}
+	return out, nil
+}
+
+// TruthReader streams data frames back from a columnar truth log,
+// stopping at the index sentinel (or a bare EOF, for truncated logs
+// still worth salvaging frame by frame).
+type TruthReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+// NewTruthReader validates the magic and positions at the first frame.
+func NewTruthReader(r io.Reader) (*TruthReader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(truthLogMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("pipeline: truth log header: %w", err)
+	}
+	if string(magic) != truthLogMagic {
+		return nil, fmt.Errorf("pipeline: bad truth log magic %q", magic)
+	}
+	return &TruthReader{r: br}, nil
+}
+
+// Next returns the next frame's fixes, or io.EOF after the last data
+// frame (the index block is not a data frame).
+func (r *TruthReader) Next() ([]trace.GroundTruth, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			r.err = io.EOF
+			return nil, io.EOF
+		}
+		r.err = fmt.Errorf("pipeline: truth frame length: %w", err)
+		return nil, r.err
+	}
+	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if payloadLen == truthIndexMark {
+		r.err = io.EOF
+		return nil, io.EOF
+	}
+	if payloadLen < 4 || payloadLen > maxFrameBytes {
+		r.err = fmt.Errorf("pipeline: implausible truth frame length %d", payloadLen)
+		return nil, r.err
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		r.err = fmt.Errorf("pipeline: truncated truth frame: %w", err)
+		return nil, r.err
+	}
+	fixes, err := decodeTruthFrame(payload, nil)
+	if err != nil {
+		r.err = err
+		return nil, err
+	}
+	return fixes, nil
+}
+
+// ReadAllTruth drains a whole columnar truth log from r.
+func ReadAllTruth(r io.Reader) ([]trace.GroundTruth, error) {
+	tr, err := NewTruthReader(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []trace.GroundTruth
+	for {
+		frame, err := tr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, frame...)
+	}
+}
+
+// TruthFile is random access over a complete, time-sorted columnar truth
+// log: the frame index is loaded once and each data frame decodes on
+// demand through an io.ReaderAt. It implements analysis.TruthStore, so
+// analysis.NewDiskTruthIndex can serve At/HasCoverage queries from a
+// bounded decoded window instead of a resident fix slice.
+//
+// TruthFile itself is safe for concurrent use (ReaderAt is positionless
+// and the metadata is immutable); decoded frames are the caller's.
+type TruthFile struct {
+	r      io.ReaderAt
+	frames []TruthFrame
+	starts []int // cumulative fix index of each frame's first fix
+	total  int
+}
+
+// OpenTruthFile loads the frame index of a columnar truth log of the
+// given size. Logs whose frames are not time-sorted (raw multi-world
+// export logs) are refused — stream those with TruthReader instead.
+func OpenTruthFile(r io.ReaderAt, size int64) (*TruthFile, error) {
+	magic := make([]byte, len(truthLogMagic))
+	if _, err := r.ReadAt(magic, 0); err != nil {
+		return nil, fmt.Errorf("pipeline: truth log header: %w", err)
+	}
+	if string(magic) != truthLogMagic {
+		return nil, fmt.Errorf("pipeline: bad truth log magic %q", magic)
+	}
+	if size < int64(len(truthLogMagic))+16 {
+		return nil, fmt.Errorf("pipeline: truth log too short (%d bytes) for a trailer", size)
+	}
+	trailer := make([]byte, 16)
+	if _, err := r.ReadAt(trailer, size-16); err != nil {
+		return nil, fmt.Errorf("pipeline: truth log trailer: %w", err)
+	}
+	if string(trailer[8:]) != truthTrailerMagic {
+		return nil, fmt.Errorf("pipeline: bad truth trailer magic %q (truncated log?)", trailer[8:])
+	}
+	indexOffset := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if indexOffset < int64(len(truthLogMagic)) || indexOffset >= size-16 {
+		return nil, fmt.Errorf("pipeline: implausible truth index offset %d", indexOffset)
+	}
+	head := make([]byte, 8)
+	if _, err := r.ReadAt(head, indexOffset); err != nil {
+		return nil, fmt.Errorf("pipeline: truth index header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(head[:4]) != truthIndexMark {
+		return nil, fmt.Errorf("pipeline: truth index sentinel missing at offset %d", indexOffset)
+	}
+	payloadLen := binary.LittleEndian.Uint32(head[4:])
+	if payloadLen < 4 || int64(payloadLen) > size-indexOffset-8 {
+		return nil, fmt.Errorf("pipeline: implausible truth index length %d", payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := r.ReadAt(payload, indexOffset+8); err != nil {
+		return nil, fmt.Errorf("pipeline: truth index: %w", err)
+	}
+	frameCount := int(binary.LittleEndian.Uint32(payload[:4]))
+	if frameCount < 0 || 4+frameCount*(8+4+8+8) != len(payload) {
+		return nil, fmt.Errorf("pipeline: truth index frame count %d does not match payload", frameCount)
+	}
+	tf := &TruthFile{r: r, frames: make([]TruthFrame, frameCount), starts: make([]int, frameCount)}
+	off := 4
+	for i := range tf.frames {
+		fr := &tf.frames[i]
+		fr.Offset = int64(binary.LittleEndian.Uint64(payload[off:]))
+		fr.Count = int(binary.LittleEndian.Uint32(payload[off+8:]))
+		fr.FirstT = int64(binary.LittleEndian.Uint64(payload[off+12:]))
+		fr.LastT = int64(binary.LittleEndian.Uint64(payload[off+20:]))
+		off += 8 + 4 + 8 + 8
+		if fr.Count <= 0 || fr.FirstT > fr.LastT {
+			return nil, fmt.Errorf("pipeline: truth index frame %d is malformed", i)
+		}
+		if i > 0 && (fr.FirstT < tf.frames[i-1].LastT || fr.Offset <= tf.frames[i-1].Offset) {
+			return nil, fmt.Errorf("pipeline: truth log is not time-sorted at frame %d; stream it with TruthReader instead", i)
+		}
+		tf.starts[i] = tf.total
+		tf.total += fr.Count
+	}
+	return tf, nil
+}
+
+// Frames returns the number of data frames.
+func (tf *TruthFile) Frames() int { return len(tf.frames) }
+
+// Total returns the number of fixes across all frames.
+func (tf *TruthFile) Total() int { return tf.total }
+
+// FrameMeta returns frame i's global index of its first fix, its fix
+// count, and its first and last fix instants (unix nanos).
+func (tf *TruthFile) FrameMeta(i int) (start, count int, firstT, lastT int64) {
+	fr := tf.frames[i]
+	return tf.starts[i], fr.Count, fr.FirstT, fr.LastT
+}
+
+// readFramePayload fetches frame i's raw payload.
+func (tf *TruthFile) readFramePayload(i int) ([]byte, error) {
+	fr := tf.frames[i]
+	var lenBuf [4]byte
+	if _, err := tf.r.ReadAt(lenBuf[:], fr.Offset); err != nil {
+		return nil, fmt.Errorf("pipeline: truth frame %d length: %w", i, err)
+	}
+	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if payloadLen < 4 || payloadLen > maxFrameBytes {
+		return nil, fmt.Errorf("pipeline: implausible truth frame %d length %d", i, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := tf.r.ReadAt(payload, fr.Offset+4); err != nil {
+		return nil, fmt.Errorf("pipeline: truth frame %d: %w", i, err)
+	}
+	return payload, nil
+}
+
+// ReadFrame decodes frame i into dst (reusing its capacity).
+func (tf *TruthFile) ReadFrame(i int, dst []trace.GroundTruth) ([]trace.GroundTruth, error) {
+	payload, err := tf.readFramePayload(i)
+	if err != nil {
+		return nil, err
+	}
+	fixes, err := decodeTruthFrame(payload, dst)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: truth frame %d: %w", i, err)
+	}
+	if len(fixes) != tf.frames[i].Count {
+		return nil, fmt.Errorf("pipeline: truth frame %d holds %d fixes, index says %d", i, len(fixes), tf.frames[i].Count)
+	}
+	return fixes, nil
+}
+
+// FrameTimes decodes only frame i's time column into dst — the leading
+// column exists precisely so cursors and coverage builds can scan
+// instants without decoding positions and strings.
+func (tf *TruthFile) FrameTimes(i int, dst []int64) ([]int64, error) {
+	payload, err := tf.readFramePayload(i)
+	if err != nil {
+		return nil, err
+	}
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("pipeline: truth frame %d underrun", i)
+	}
+	count := int(binary.LittleEndian.Uint32(payload[:4]))
+	if count != tf.frames[i].Count || 4+count*8 > len(payload) {
+		return nil, fmt.Errorf("pipeline: truth frame %d holds %d fixes, index says %d", i, count, tf.frames[i].Count)
+	}
+	out := dst[:0]
+	for k := 0; k < count; k++ {
+		out = append(out, int64(binary.LittleEndian.Uint64(payload[4+k*8:])))
+	}
+	return out, nil
+}
+
+// Close releases the underlying reader when it is an io.Closer.
+func (tf *TruthFile) Close() error {
+	if c, ok := tf.r.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// FrameFor returns the index of the first frame whose last fix instant
+// is >= tNs (len(frames) when every frame ends earlier).
+func (tf *TruthFile) FrameFor(tNs int64) int {
+	return sort.Search(len(tf.frames), func(i int) bool { return tf.frames[i].LastT >= tNs })
+}
+
+// TruthSink is the pipeline consumer streaming every world's ground
+// truth to a columnar log as it is produced. Worlds stream sequentially
+// through the merge, so a multi-world campaign's log is sorted within
+// each world but not across worlds — the sink therefore writes a
+// non-strict log, readable by TruthReader; OpenTruthFile refuses it
+// unless the campaign had one world.
+type TruthSink struct {
+	w *TruthWriter
+}
+
+// NewTruthSink builds the consumer (flushEvery <= 0 means
+// DefaultSinkFlush).
+func NewTruthSink(w io.Writer, flushEvery int) *TruthSink {
+	tw := NewTruthWriter(w, flushEvery)
+	tw.strict = false
+	return &TruthSink{w: tw}
+}
+
+// Consume implements Consumer.
+func (s *TruthSink) Consume(b Batch) error { return s.w.Append(b.Fixes...) }
+
+// Close implements Consumer.
+func (s *TruthSink) Close() error { return s.w.Close() }
+
+// Name labels this consumer in pipeline stats.
+func (s *TruthSink) Name() string { return "truth" }

@@ -1,0 +1,191 @@
+package pipeline
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"tagsim/internal/geo"
+	"tagsim/internal/obs"
+	"tagsim/internal/trace"
+)
+
+// truthFixture builds n time-sorted fixes with irregular spacing
+// (including gaps larger than the analysis MaxGap) and varied payloads.
+func truthFixture(n int, seed int64) []trace.GroundTruth {
+	rng := rand.New(rand.NewSource(seed))
+	t0 := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	fixes := make([]trace.GroundTruth, n)
+	cur := t0
+	for i := range fixes {
+		cur = cur.Add(time.Duration(1+rng.Intn(240)) * time.Second)
+		if rng.Intn(20) == 0 {
+			cur = cur.Add(time.Duration(5+rng.Intn(30)) * time.Minute) // coverage gap
+		}
+		fixes[i] = trace.GroundTruth{
+			T:          cur,
+			Pos:        geo.LatLon{Lat: 48 + rng.Float64(), Lon: 11 + rng.Float64()},
+			VantageID:  fmt.Sprintf("vp-%d", rng.Intn(4)),
+			SpeedKmh:   rng.Float64() * 30,
+			UploadedAt: cur.Add(time.Duration(rng.Intn(90)) * time.Second),
+		}
+	}
+	return fixes
+}
+
+// TestTruthRoundTrip checks write -> stream-read and write -> seekable
+// random frame access both reproduce the input exactly.
+func TestTruthRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 300} {
+		fixes := truthFixture(n, int64(n)+1)
+		var buf bytes.Buffer
+		if err := WriteTruth(&buf, fixes, 64); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		got, err := ReadAllTruth(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: stream read: %v", n, err)
+		}
+		if len(got) != len(fixes) || (n > 0 && !reflect.DeepEqual(got, fixes)) {
+			t.Fatalf("n=%d: stream round-trip diverged (%d fixes back)", n, len(got))
+		}
+		tf, err := OpenTruthFile(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatalf("n=%d: open: %v", n, err)
+		}
+		if tf.Total() != n {
+			t.Fatalf("n=%d: Total() = %d", n, tf.Total())
+		}
+		var all []trace.GroundTruth
+		for i := tf.Frames() - 1; i >= 0; i-- { // random-ish access order
+			frame, err := tf.ReadFrame(i, nil)
+			if err != nil {
+				t.Fatalf("n=%d: frame %d: %v", n, i, err)
+			}
+			all = append(frame, all...)
+			times, err := tf.FrameTimes(i, nil)
+			if err != nil {
+				t.Fatalf("n=%d: frame %d times: %v", n, i, err)
+			}
+			for k, ts := range times {
+				if ts != frame[k].T.UnixNano() {
+					t.Fatalf("n=%d: frame %d: FrameTimes[%d] != decoded fix time", n, i, k)
+				}
+			}
+		}
+		if n > 0 && !reflect.DeepEqual(all, fixes) {
+			t.Fatalf("n=%d: seekable round-trip diverged", n)
+		}
+	}
+}
+
+// TestTruthFramingByteIdentical checks a batched dump and a fix-by-fix
+// streamed write produce identical bytes — framing depends only on the
+// fix sequence and the flush threshold.
+func TestTruthFramingByteIdentical(t *testing.T) {
+	fixes := truthFixture(500, 9)
+	var batch bytes.Buffer
+	if err := WriteTruth(&batch, fixes, 128); err != nil {
+		t.Fatal(err)
+	}
+	var streamed bytes.Buffer
+	w := NewTruthWriter(&streamed, 128)
+	for _, f := range fixes {
+		if err := w.Append(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(batch.Bytes(), streamed.Bytes()) {
+		t.Fatalf("streamed truth log (%d bytes) differs from batch dump (%d bytes)", streamed.Len(), batch.Len())
+	}
+}
+
+// TestTruthWriterStrictOrder checks the strict writer rejects a fix
+// earlier than its predecessor (the invariant seekable readers rely on),
+// while equal timestamps pass.
+func TestTruthWriterStrictOrder(t *testing.T) {
+	t0 := time.Date(2026, 3, 1, 8, 0, 0, 0, time.UTC)
+	w := NewTruthWriter(&bytes.Buffer{}, 0)
+	if err := w.Append(trace.GroundTruth{T: t0}, trace.GroundTruth{T: t0}, trace.GroundTruth{T: t0.Add(time.Second)}); err != nil {
+		t.Fatalf("sorted appends rejected: %v", err)
+	}
+	if err := w.Append(trace.GroundTruth{T: t0}); err == nil {
+		t.Fatal("out-of-order fix accepted by strict writer")
+	}
+}
+
+// TestTruthFileRejectsUnsorted checks OpenTruthFile refuses a raw
+// multi-world export log (frames not time-sorted) while TruthReader
+// still streams it.
+func TestTruthFileRejectsUnsorted(t *testing.T) {
+	later := truthFixture(5, 1)
+	earlier := truthFixture(5, 2) // same epoch: overlaps `later`
+	var buf bytes.Buffer
+	// flushEvery matches the world size, so each world lands in its own
+	// frame and the overlap shows up as cross-frame disorder.
+	sink := NewTruthSink(&buf, 5)
+	if err := sink.Consume(Batch{Fixes: later}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Consume(Batch{Fixes: earlier}); err != nil {
+		t.Fatalf("non-strict sink rejected a world boundary: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAllTruth(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got) != 10 {
+		t.Fatalf("streaming an unsorted log: %d fixes, err %v", len(got), err)
+	}
+	if _, err := OpenTruthFile(bytes.NewReader(buf.Bytes()), int64(buf.Len())); err == nil {
+		t.Fatal("OpenTruthFile accepted an unsorted log")
+	} else if !strings.Contains(err.Error(), "not time-sorted") {
+		t.Fatalf("unexpected refusal: %v", err)
+	}
+}
+
+// TestTruthFileCorruption checks truncated and mangled logs are refused
+// with errors, not panics or garbage.
+func TestTruthFileCorruption(t *testing.T) {
+	fixes := truthFixture(100, 5)
+	var buf bytes.Buffer
+	if err := WriteTruth(&buf, fixes, 32); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"magic only", full[:8]},
+		{"truncated mid-frame", full[:len(full)/2]},
+		{"trailer cut", full[:len(full)-5]},
+		{"bad magic", append([]byte("NOTTRUTH"), full[8:]...)},
+	} {
+		if _, err := OpenTruthFile(bytes.NewReader(tc.data), int64(len(tc.data))); err == nil {
+			t.Errorf("%s: OpenTruthFile accepted a corrupt log", tc.name)
+		}
+	}
+}
+
+// TestTruthSpillCounter checks the obs byte counter advances by exactly
+// the file size written.
+func TestTruthSpillCounter(t *testing.T) {
+	c := obs.GetCounter("truth_spill_bytes_total")
+	before := c.Value()
+	var buf bytes.Buffer
+	if err := WriteTruth(&buf, truthFixture(200, 3), 64); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c.Value()-before, uint64(buf.Len()); got != want {
+		t.Errorf("truth_spill_bytes_total advanced %d, file is %d bytes", got, want)
+	}
+}

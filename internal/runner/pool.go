@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable fixed-size worker pool for repeated sub-world
+// fan-outs — work that is too frequent to pay Map's per-call goroutine
+// spawn (the encounter plane shards every scan tick, thousands of times
+// per simulated day). Workers park on a channel between rounds, so a
+// Run costs one pointer send per helper instead of a goroutine spawn,
+// and each job learns which worker runs it so callers can keep
+// worker-local scratch.
+//
+// The determinism contract matches Map: fn(worker, job) may depend only
+// on job and on state the caller partitions by job or by worker. Jobs
+// are claimed in index order from an atomic counter, so any reassembly
+// keyed by job index is byte-identical at every worker count.
+type Pool struct {
+	workers int
+	rounds  []chan *poolRound // one channel per helper goroutine
+	closed  bool
+}
+
+// poolRound is one Run's shared state.
+type poolRound struct {
+	n       int
+	fn      func(worker, job int)
+	next    atomic.Int64
+	wg      sync.WaitGroup // helpers done with this round
+	aborted atomic.Bool    // set on panic so workers stop claiming
+	mu      sync.Mutex
+	panic   any // first panic observed, re-raised by the caller
+}
+
+// NewPool starts a pool of the given size. The calling goroutine of
+// each Run acts as worker 0, so a pool of n workers owns n-1 helper
+// goroutines; sizes <= 1 run every job inline. Close the pool when the
+// owning subsystem shuts down.
+func NewPool(workers int) *Pool {
+	p := &Pool{workers: workers}
+	for w := 1; w < workers; w++ {
+		ch := make(chan *poolRound)
+		p.rounds = append(p.rounds, ch)
+		go func(worker int) {
+			for r := range ch {
+				r.claim(worker)
+				r.wg.Done()
+			}
+		}(w)
+	}
+	return p
+}
+
+// Workers returns the pool size (1 for a nil or degenerate pool).
+func (p *Pool) Workers() int {
+	if p == nil || p.workers < 1 {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes fn(worker, job) for job in [0, n), blocking until every
+// job finishes. The caller participates as worker 0. A panic in any job
+// stops further claims and is re-raised here once in-flight jobs drain,
+// mirroring Map.
+func (p *Pool) Run(n int, fn func(worker, job int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for j := 0; j < n; j++ {
+			fn(0, j)
+		}
+		return
+	}
+	r := &poolRound{n: n, fn: fn}
+	r.wg.Add(len(p.rounds))
+	for _, ch := range p.rounds {
+		ch <- r
+	}
+	r.claim(0)
+	r.wg.Wait()
+	if r.panic != nil {
+		panic(r.panic)
+	}
+}
+
+// claim pulls jobs off the round's atomic counter until none remain.
+func (r *poolRound) claim(worker int) {
+	for {
+		j := int(r.next.Add(1) - 1)
+		if j >= r.n || r.aborted.Load() {
+			return
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.aborted.Store(true)
+					r.mu.Lock()
+					if r.panic == nil {
+						r.panic = rec
+					}
+					r.mu.Unlock()
+				}
+			}()
+			r.fn(worker, j)
+		}()
+	}
+}
+
+// Close releases the helper goroutines. Run must not be called after
+// Close (it panics, like sending on the closed channels would).
+func (p *Pool) Close() {
+	if p == nil || p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.rounds {
+		close(ch)
+	}
+}
+
+// String describes the pool for diagnostics.
+func (p *Pool) String() string { return fmt.Sprintf("runner.Pool(%d)", p.Workers()) }

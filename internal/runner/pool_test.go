@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolRunsEveryJobOnce checks every job index is claimed exactly
+// once per round, across repeated rounds on one pool.
+func TestPoolRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		p := NewPool(workers)
+		for round := 0; round < 5; round++ {
+			const n = 100
+			var counts [n]atomic.Int32
+			p.Run(n, func(worker, job int) {
+				if worker < 0 || worker >= p.Workers() {
+					t.Errorf("workers=%d: job %d ran on worker %d", workers, job, worker)
+				}
+				counts[job].Add(1)
+			})
+			for j := range counts {
+				if got := counts[j].Load(); got != 1 {
+					t.Fatalf("workers=%d round %d: job %d ran %d times", workers, round, j, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestPoolWorkerZeroIsCaller checks the calling goroutine participates:
+// with one worker, every job runs as worker 0 inline.
+func TestPoolWorkerZeroIsCaller(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	ran := 0
+	p.Run(3, func(worker, job int) {
+		if worker != 0 {
+			t.Errorf("job %d on worker %d, want 0", job, worker)
+		}
+		ran++
+	})
+	if ran != 3 {
+		t.Fatalf("ran %d jobs, want 3", ran)
+	}
+}
+
+// TestPoolPanicPropagates checks a job panic re-raises on the caller
+// with the original value, and the pool stays usable afterwards.
+func TestPoolPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewPool(workers)
+		func() {
+			defer func() {
+				if r := recover(); r != "boom" {
+					t.Fatalf("workers=%d: recovered %v, want \"boom\"", workers, r)
+				}
+			}()
+			p.Run(16, func(worker, job int) {
+				if job == 3 {
+					panic("boom")
+				}
+			})
+			t.Fatalf("workers=%d: Run returned without panicking", workers)
+		}()
+		// The pool must survive a panicked round.
+		var ok atomic.Int32
+		p.Run(4, func(worker, job int) { ok.Add(1) })
+		if ok.Load() != 4 {
+			t.Fatalf("workers=%d: post-panic round ran %d jobs", workers, ok.Load())
+		}
+		p.Close()
+	}
+}
+
+// TestPoolNil checks a nil pool degrades to inline execution.
+func TestPoolNil(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers() = %d", p.Workers())
+	}
+	ran := 0
+	p.Run(2, func(worker, job int) { ran++ })
+	if ran != 2 {
+		t.Fatalf("nil pool ran %d jobs", ran)
+	}
+	p.Close() // must not panic
+}

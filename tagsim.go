@@ -205,6 +205,11 @@ var (
 	// (testing/benchmark escape hatch mirroring device.SetGridIndexing);
 	// disabled, the exported metrics run the historical per-call scans.
 	SetIndexedAnalysis = analysis.SetIndexedAnalysis
+	// SetResidentTruth toggles whether campaign ground truth stays
+	// resident (default) or spills to disk-backed columnar logs read
+	// through a bounded cursor — the continental-scale memory knob
+	// (raw-fix consumers like the hexagon figures then see empty truth).
+	SetResidentTruth = analysis.SetResidentTruth
 	// DistinctReports collapses repeated crawl observations of one
 	// underlying report (shared by the analysis plane and the crawler).
 	DistinctReports = trace.DistinctReports
