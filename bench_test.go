@@ -11,6 +11,7 @@ package tagsim_test
 import (
 	"fmt"
 	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -481,6 +482,133 @@ func BenchmarkStoreQuery(b *testing.B) {
 			}
 			wg.Wait()
 		})
+	}
+}
+
+// benchTieredStore opens a report store for the tiered-store sweep:
+// mode=memory is the baseline in-memory store (everything lives in the
+// tag rings), mode=tiered persists under a per-benchmark temp dir with
+// the given memtable threshold so most accepted rows end up in
+// immutable segments. Both keep full history — the workload the tiering
+// exists for.
+func benchTieredStore(b *testing.B, mode string, memtableBytes int64) *tagsim.ReportStore {
+	b.Helper()
+	if mode == "memory" {
+		st := tagsim.NewReportStore(16)
+		st.KeepHistory = true
+		return st
+	}
+	st, err := tagsim.OpenReportStore(16, tagsim.StoreTiering{
+		Dir:           b.TempDir(),
+		MemtableBytes: memtableBytes,
+		KeepHistory:   true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := st.Close(); err != nil {
+			b.Errorf("closing tiered store: %v", err)
+		}
+	})
+	return st
+}
+
+// BenchmarkStoreTiered sweeps the tiered persistent store against the
+// in-memory baseline. op=ingest times the write path (8 closed-loop
+// writers, WAL + memtable vs memtable alone); op=query times
+// RecentHistory against a universe flushed entirely to segments, so the
+// tiered reads are memtable-miss + segment pread merges; op=resident is
+// the claim the tiering exists for — live heap after ingesting a
+// growing universe, flat for tiered (bounded memtable, history on disk)
+// while the in-memory store tracks universe size linearly.
+// BENCH_store.json records the sweep.
+func BenchmarkStoreTiered(b *testing.B) {
+	t0 := time.Date(2022, 3, 7, 9, 0, 0, 0, time.UTC)
+	for _, mode := range []string{"memory", "tiered"} {
+		b.Run("op=ingest/mode="+mode, func(b *testing.B) {
+			st := benchTieredStore(b, mode, 4<<20)
+			per := (b.N + benchStoreClients - 1) / benchStoreClients
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < benchStoreClients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					r := tagsim.Report{TagID: fmt.Sprintf("tier-tag-%02d", c), ReporterID: "dev-1"}
+					for i := 0; i < per; i++ {
+						r.HeardAt = t0.Add(time.Duration(i) * time.Second)
+						r.T = r.HeardAt
+						r.Pos = tagsim.LatLon{Lat: float64(i % 90), Lon: float64(i % 180)}
+						st.Ingest(r)
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+	for _, mode := range []string{"memory", "tiered"} {
+		b.Run("op=query/mode="+mode, func(b *testing.B) {
+			const nTags, nReports = 512, 96
+			st := benchTieredStore(b, mode, 256<<10)
+			tags := make([]string, nTags)
+			for i := range tags {
+				tags[i] = fmt.Sprintf("tier-tag-%04d", i)
+				for k := 0; k < nReports; k++ {
+					at := t0.Add(time.Duration(k) * time.Minute)
+					st.Ingest(tagsim.Report{T: at, HeardAt: at, TagID: tags[i], ReporterID: "dev-1",
+						Pos: tagsim.LatLon{Lat: float64(i % 90), Lon: float64(k % 180)}})
+				}
+			}
+			if mode == "tiered" {
+				// Push every row to segments so reads measure the disk
+				// merge, not a warm memtable.
+				if err := st.Flush(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			per := (b.N + benchStoreClients - 1) / benchStoreClients
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < benchStoreClients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						st.RecentHistory(tags[(c*131+i)%nTags], 25)
+					}
+				}(c)
+			}
+			wg.Wait()
+		})
+	}
+	for _, universe := range []int{1 << 16, 1 << 18, 1 << 20} {
+		for _, mode := range []string{"memory", "tiered"} {
+			b.Run(fmt.Sprintf("op=resident/universe=%d/mode=%s", universe, mode), func(b *testing.B) {
+				const nTags = 4096
+				var heapMB float64
+				for i := 0; i < b.N; i++ {
+					var before, after runtime.MemStats
+					runtime.GC()
+					runtime.ReadMemStats(&before)
+					st := benchTieredStore(b, mode, 4<<20)
+					r := tagsim.Report{ReporterID: "dev-1"}
+					for k := 0; k < universe; k++ {
+						r.TagID = fmt.Sprintf("tier-tag-%04d", k%nTags)
+						r.HeardAt = t0.Add(time.Duration(k/nTags) * time.Minute)
+						r.T = r.HeardAt
+						r.Pos = tagsim.LatLon{Lat: float64(k % 90), Lon: float64(k % 180)}
+						st.Ingest(r)
+					}
+					runtime.GC()
+					runtime.ReadMemStats(&after)
+					heapMB = float64(after.HeapAlloc-before.HeapAlloc) / (1 << 20)
+					runtime.KeepAlive(st)
+				}
+				b.ReportMetric(heapMB, "heap_MB")
+				b.ReportMetric(float64(universe), "reports")
+			})
+		}
 	}
 }
 

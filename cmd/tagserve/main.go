@@ -21,10 +21,19 @@
 //	tagserve -traces DIR                                      # …or load dumps
 //	tagserve -live                                            # …or stream live
 //	         [-shards N] [-history-limit N]
+//	         [-store-dir DIR] [-memtable-bytes N] [-retention SPEC]
 //	         [-load N] [-requests N] [-direct] [-writes PCT]
 //	         [-open-loop -rate R]
 //	         [-locked-reads] [-no-cache]
 //	         [-addr :8080] [-pprof]
+//
+// -store-dir makes the vendor stores persistent: every vendor keeps a
+// write-ahead log and immutable columnar segments under its own
+// subdirectory, a SIGINT flushes on the way out, and the next run warm-
+// starts from the manifest, replaying only the WAL tail. -retention
+// bounds per-tag history ("keep=1000", "window=72h", or both) and
+// compaction reclaims the rows it hides; -memtable-bytes dials how much
+// history stays resident between flushes.
 //
 // -writes dials the write share of the load mix (reads get the rest,
 // in the crawler's proportions). -open-loop switches the harness to
@@ -54,6 +63,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +89,9 @@ func main() {
 	live := flag.Bool("live", false, "stream the campaign into the serving stores while the load harness queries them")
 	shards := flag.Int("shards", 16, "store shards per vendor service")
 	historyLimit := flag.Int("history-limit", 0, "retained accepted reports per tag (0 = unbounded)")
+	storeDir := flag.String("store-dir", "", "persist the vendor stores under this directory (WAL + segments; restarts warm); empty = in-memory")
+	memtableBytes := flag.Int64("memtable-bytes", 8<<20, "retained in-memory history per store before a flush to an immutable segment")
+	retention := flag.String("retention", "", `per-tag history retention, e.g. "keep=1000", "window=72h", or both comma-separated (empty = keep everything)`)
 	loadWorkers := flag.Int("load", 8, "load-harness client workers (0 disables the self-drive report)")
 	requests := flag.Int("requests", 4000, "total load-harness requests")
 	direct := flag.Bool("direct", false, "drive the stores directly instead of over HTTP")
@@ -94,6 +107,11 @@ func main() {
 	if *writes < 0 || *writes > 100 {
 		log.Fatalf("-writes must be in [0, 100], got %d", *writes)
 	}
+	ret, retErr := store.ParseRetention(*retention)
+	if retErr != nil {
+		log.Fatalf("-retention: %v", retErr)
+	}
+	tierCfg := store.Tiering{Dir: *storeDir, MemtableBytes: *memtableBytes, Retention: ret}
 	store.SetLockedReads(*lockedReads)
 	cloud.SetHotCache(!*noCache)
 	loadCfg := load.Config{
@@ -108,7 +126,7 @@ func main() {
 		if *traces != "" {
 			log.Fatal("-live and -traces are mutually exclusive")
 		}
-		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, loadCfg, *direct, *addr, *pprofOn); err != nil {
+		if err := runLive(*seed, *scale, *workers, *devices, *shards, *historyLimit, tierCfg, loadCfg, *direct, *addr, *pprofOn); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -117,13 +135,14 @@ func main() {
 	var services map[trace.Vendor]*cloud.Service
 	var err error
 	if *traces != "" {
-		services, err = servicesFromTraces(*traces, *shards, *historyLimit)
+		services, err = servicesFromTraces(*traces, *shards, *historyLimit, tierCfg)
 	} else {
-		services, err = servicesFromCampaign(*seed, *scale, *workers, *devices, *shards, *historyLimit)
+		services, err = servicesFromCampaign(*seed, *scale, *workers, *devices, *shards, *historyLimit, tierCfg)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer closeServices(services)
 	tags := serveTags(services)
 	if len(tags) == 0 {
 		log.Fatal("no tags to serve")
@@ -189,8 +208,12 @@ func registerPipelineMetrics(reg *obs.Registry, pl *pipeline.Pipeline) {
 // reports flow batch by batch into the sharded stores, the load harness
 // reads concurrently, and the report prints both planes' sustained
 // rates.
-func runLive(seed int64, scale float64, workers, devices, shards, historyLimit int, loadCfg load.Config, direct bool, addr string, pprofOn bool) error {
-	services := newServices(shards, historyLimit)
+func runLive(seed int64, scale float64, workers, devices, shards, historyLimit int, tierCfg store.Tiering, loadCfg load.Config, direct bool, addr string, pprofOn bool) error {
+	services, err := newServices(shards, historyLimit, tierCfg)
+	if err != nil {
+		return err
+	}
+	defer closeServices(services)
 	ingester := pipeline.NewStoreIngester(services)
 	cfg := tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices}
 	jobs := tagsim.PlanWild(cfg)
@@ -223,6 +246,7 @@ func runLive(seed int64, scale float64, workers, devices, shards, historyLimit i
 			for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
 				log.Printf("  %s", services[v])
 			}
+			closeServices(services) // flush so the restart replays nothing
 			os.Exit(0)
 		case <-streamPhaseDone:
 		}
@@ -373,10 +397,13 @@ func awaitTags(services map[trace.Vendor]*cloud.Service, simDone <-chan struct{}
 // country's accepted cloud state into fresh serving stores. Country
 // windows are consecutive and disjoint, so per-tag histories
 // concatenate in time order.
-func servicesFromCampaign(seed int64, scale float64, workers, devices, shards, historyLimit int) (map[trace.Vendor]*cloud.Service, error) {
+func servicesFromCampaign(seed int64, scale float64, workers, devices, shards, historyLimit int, tierCfg store.Tiering) (map[trace.Vendor]*cloud.Service, error) {
 	log.Printf("simulating campaign (seed %d, scale %g)...", seed, scale)
 	res := tagsim.RunWild(tagsim.WildConfig{Seed: seed, Scale: scale, Workers: workers, DevicesPerCity: devices})
-	out := newServices(shards, historyLimit)
+	out, err := newServices(shards, historyLimit, tierCfg)
+	if err != nil {
+		return nil, err
+	}
 	for _, cr := range res.Countries {
 		for v, svc := range cr.Clouds {
 			dst, ok := out[v]
@@ -396,7 +423,7 @@ func servicesFromCampaign(seed int64, scale float64, workers, devices, shards, h
 // (crawls_*.csv): consecutive crawl polls that observed the same report
 // collapse to one distinct report each — the paper's own history
 // reconstruction — which then restores into the stores.
-func servicesFromTraces(dir string, shards, historyLimit int) (map[trace.Vendor]*cloud.Service, error) {
+func servicesFromTraces(dir string, shards, historyLimit int, tierCfg store.Tiering) (map[trace.Vendor]*cloud.Service, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "crawls_*.csv"))
 	if err != nil {
 		return nil, err
@@ -425,7 +452,10 @@ func servicesFromTraces(dir string, shards, historyLimit int) (map[trace.Vendor]
 		log.Printf("loaded %s: %d crawl records", p, len(records))
 	}
 	trace.SortByTime(reports)
-	out := newServices(shards, historyLimit)
+	out, err := newServices(shards, historyLimit, tierCfg)
+	if err != nil {
+		return nil, err
+	}
 	perVendor := map[trace.Vendor][]trace.Report{}
 	for _, r := range reports {
 		perVendor[r.Vendor] = append(perVendor[r.Vendor], r)
@@ -440,12 +470,49 @@ func servicesFromTraces(dir string, shards, historyLimit int) (map[trace.Vendor]
 	return out, nil
 }
 
-func newServices(shards, historyLimit int) map[trace.Vendor]*cloud.Service {
+// newServices builds the per-vendor services: in-memory by default, or
+// persistent (each vendor under its own subdirectory of tierCfg.Dir,
+// warm-loading whatever a previous run left there) with -store-dir.
+func newServices(shards, historyLimit int, tierCfg store.Tiering) (map[trace.Vendor]*cloud.Service, error) {
 	out := map[trace.Vendor]*cloud.Service{}
 	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
-		svc := cloud.NewServiceSharded(v, shards)
-		svc.HistoryLimit = historyLimit
+		if tierCfg.Dir == "" {
+			svc := cloud.NewServiceSharded(v, shards)
+			svc.HistoryLimit = historyLimit
+			svc.Retention = tierCfg.Retention
+			out[v] = svc
+			continue
+		}
+		cfg := tierCfg
+		cfg.Dir = filepath.Join(tierCfg.Dir, strings.ToLower(v.String()))
+		if cfg.Retention.KeepLast == 0 && historyLimit > 0 {
+			// -history-limit maps onto keep-last retention so WAL replay
+			// and reads trim identically on a persistent store.
+			cfg.Retention.KeepLast = historyLimit
+		}
+		svc, err := cloud.NewServicePersistent(v, shards, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if st := svc.TierStats(); st.Segments > 0 || st.WALRecords > 0 {
+			log.Printf("%s store: warm start from %s (%d segments, %d WAL records replayed)",
+				v, cfg.Dir, st.Segments, st.WALRecords)
+		}
 		out[v] = svc
 	}
-	return out
+	return out, nil
+}
+
+// closeServices flushes and closes persistent stores so a restart
+// replays nothing (a no-op for in-memory services).
+func closeServices(services map[trace.Vendor]*cloud.Service) {
+	for _, v := range []trace.Vendor{trace.VendorApple, trace.VendorSamsung} {
+		svc, ok := services[v]
+		if !ok || !svc.Tiered() {
+			continue
+		}
+		if err := svc.Close(); err != nil {
+			log.Printf("closing %s store: %v", v, err)
+		}
+	}
 }

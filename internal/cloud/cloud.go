@@ -74,6 +74,24 @@ func NewServiceSharded(vendor trace.Vendor, shards int) *Service {
 	return &Service{Store: st, vendor: vendor}
 }
 
+// NewServicePersistent is NewServiceSharded on the tiered persistent
+// store: the service's state lives in cfg.Dir (WAL + columnar segments)
+// and a restart warm-loads it, replaying only the WAL tail. The cloud
+// policy fills in like the other constructors — the default rate cap
+// unless cfg overrides it, history always on. With an empty cfg.Dir (or
+// store.SetTiered(false)) this degenerates to NewServiceSharded.
+func NewServicePersistent(vendor trace.Vendor, shards int, cfg store.Tiering) (*Service, error) {
+	if cfg.MinUpdateInterval == 0 {
+		cfg.MinUpdateInterval = DefaultMinUpdateInterval
+	}
+	cfg.KeepHistory = true
+	st, err := store.Open(shards, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cloud: opening %s store in %s: %w", vendor, cfg.Dir, err)
+	}
+	return &Service{Store: st, vendor: vendor}, nil
+}
+
 // Vendor returns the ecosystem this service backs.
 func (s *Service) Vendor() trace.Vendor { return s.vendor }
 

@@ -1,0 +1,271 @@
+package colfmt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func samplePayload() []byte {
+	var p []byte
+	p = AppendU32(p, 7)
+	p = AppendU64(p, 1<<40)
+	p = AppendI64(p, -12345)
+	p = AppendF64(p, 54.37)
+	p = AppendStr(p, "tag-00")
+	p = append(p, 0xAB)
+	return p
+}
+
+func decodeSample(t *testing.T, p []byte) {
+	t.Helper()
+	d := NewDec(p)
+	if got := d.U32(); got != 7 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<40 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -12345 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 54.37 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := d.Str(); got != "tag-00" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 = %#x", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestSkipMatchesDecode(t *testing.T) {
+	// Skipping the u32+u64+i64+f64 prefix and the string cell lands the
+	// cursor exactly where decoding them would, and Close still sees an
+	// exactly-consumed payload.
+	p := samplePayload()
+	d := NewDec(p)
+	d.Skip(4 + 8 + 8 + 8)
+	d.SkipStr()
+	if got := d.U8(); got != 0xAB {
+		t.Errorf("U8 after skips = %#x", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestSkipBoundsChecked(t *testing.T) {
+	d := NewDec(samplePayload())
+	d.Skip(len(samplePayload()) + 1)
+	if d.Err() == nil {
+		t.Error("Skip past end did not poison the decoder")
+	}
+	d = NewDec(samplePayload())
+	d.Skip(-1)
+	if d.Err() == nil {
+		t.Error("negative Skip did not poison the decoder")
+	}
+	// A string cell whose length runs past the payload must fail the
+	// skip the same way Str fails the read.
+	short := AppendU32(nil, 100)
+	d = NewDec(append(short, "abc"...))
+	d.SkipStr()
+	if d.Err() == nil {
+		t.Error("SkipStr past end did not poison the decoder")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != FrameSize(len(samplePayload())) {
+		t.Errorf("frame size = %d, want %d", buf.Len(), FrameSize(len(samplePayload())))
+	}
+	p, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeSample(t, p)
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Errorf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameCRCRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameCRC(&buf, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != FrameCRCSize(len(samplePayload())) {
+		t.Errorf("frame size = %d, want %d", buf.Len(), FrameCRCSize(len(samplePayload())))
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	p, err := ReadFrameCRC(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeSample(t, p)
+
+	// Every single-byte flip in the frame must fail the read: a flipped
+	// length is implausible or truncates, anything else fails the CRC.
+	for off := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[off] ^= 0x10
+		if _, err := ReadFrameCRC(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", off)
+		}
+	}
+	// A torn tail (any strict prefix) must fail too, except length 0
+	// which is a clean EOF.
+	for n := 1; n < len(raw); n++ {
+		if _, err := ReadFrameCRC(bytes.NewReader(raw[:n])); err == nil || err == io.EOF {
+			t.Fatalf("torn frame of %d/%d bytes read as %v", n, len(raw), err)
+		}
+	}
+}
+
+func TestReadFrameCRCAt(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("HDRMAGIC")
+	if err := WriteFrameCRC(&buf, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	second := FrameCRCSize(len("first")) + int64(MagicLen)
+	if err := WriteFrameCRC(&buf, samplePayload()); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	p, err := ReadFrameCRCAt(r, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeSample(t, p)
+	if p, err := ReadFrameCRCAt(r, int64(MagicLen)); err != nil || string(p) != "first" {
+		t.Errorf("first frame = %q, %v", p, err)
+	}
+	// Corrupt the second frame's payload: only that frame fails.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[second+10] ^= 0xFF
+	r = bytes.NewReader(raw)
+	if _, err := ReadFrameCRCAt(r, second); err == nil {
+		t.Error("corrupt frame read cleanly")
+	}
+	if _, err := ReadFrameCRCAt(r, int64(MagicLen)); err != nil {
+		t.Errorf("sibling frame infected by corruption: %v", err)
+	}
+	// Past the end: an error, not garbage.
+	if _, err := ReadFrameCRCAt(r, int64(len(raw))); err == nil {
+		t.Error("read past the file end succeeded")
+	}
+}
+
+func TestIndexMarkSentinel(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(AppendU32(nil, IndexMark))
+	if _, err := ReadFrame(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrIndexMark) {
+		t.Errorf("ReadFrame at sentinel = %v", err)
+	}
+	if _, err := ReadFrameCRC(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrIndexMark) {
+		t.Errorf("ReadFrameCRC at sentinel = %v", err)
+	}
+	pad := append(buf.Bytes(), 0, 0, 0, 0)
+	if _, err := ReadFrameCRCAt(bytes.NewReader(pad), 0); !errors.Is(err, ErrIndexMark) {
+		t.Errorf("ReadFrameCRCAt at sentinel = %v", err)
+	}
+}
+
+func TestImplausibleLengthRejected(t *testing.T) {
+	huge := AppendU32(nil, MaxFrameBytes+1)
+	huge = append(huge, make([]byte, 16)...)
+	if _, err := ReadFrame(bytes.NewReader(huge)); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible length = %v", err)
+	}
+	if _, err := ReadFrameCRCAt(bytes.NewReader(huge), 0); err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Errorf("implausible length (pread) = %v", err)
+	}
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Error("WriteFrame accepted an over-cap payload")
+	}
+	if err := WriteFrameCRC(io.Discard, make([]byte, MaxFrameBytes+1)); err == nil {
+		t.Error("WriteFrameCRC accepted an over-cap payload")
+	}
+}
+
+func TestTrailerRoundTrip(t *testing.T) {
+	const magic = "TESTTRL\n"
+	var buf bytes.Buffer
+	buf.WriteString("HDRMAGIC")
+	buf.WriteString("....data....")
+	idx := int64(buf.Len())
+	buf.WriteString("..index..")
+	if err := WriteTrailer(&buf, idx, magic); err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(buf.Bytes())
+	got, err := ReadTrailer(r, int64(buf.Len()), magic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != idx {
+		t.Errorf("index offset = %d, want %d", got, idx)
+	}
+	if _, err := ReadTrailer(r, int64(buf.Len()), "WRONGMG\n"); err == nil {
+		t.Error("wrong trailer magic accepted")
+	}
+	if _, err := ReadTrailer(r, int64(MagicLen+TrailerLen)-1, magic); err == nil {
+		t.Error("too-short file accepted")
+	}
+	if err := WriteTrailer(io.Discard, 0, "short"); err == nil {
+		t.Error("short trailer magic accepted")
+	}
+	// An index offset outside the data region is implausible.
+	var bad bytes.Buffer
+	bad.WriteString("HDRMAGIC")
+	WriteTrailer(&bad, int64(bad.Len()+TrailerLen+5), magic)
+	if _, err := ReadTrailer(bytes.NewReader(bad.Bytes()), int64(bad.Len()), magic); err == nil {
+		t.Error("out-of-range index offset accepted")
+	}
+}
+
+func TestDecUnderrunAndTrailing(t *testing.T) {
+	d := NewDec(AppendU32(nil, 9))
+	d.U64() // 4 bytes short
+	if d.Err() == nil {
+		t.Error("underrun not detected")
+	}
+	if d.U32() != 0 || d.Str() != "" || d.U8() != 0 {
+		t.Error("poisoned decoder must return zero values")
+	}
+	if err := d.Close(); err == nil {
+		t.Error("Close after underrun = nil")
+	}
+
+	d = NewDec(AppendU32(nil, 9))
+	_ = d.U8()
+	if err := d.Close(); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing bytes = %v", err)
+	}
+
+	// A string cell whose length outruns the payload fails cleanly.
+	d = NewDec(AppendU32(nil, 1000))
+	if d.Str(); d.Err() == nil {
+		t.Error("oversized string cell not detected")
+	}
+}
+
+func TestStrSize(t *testing.T) {
+	for _, s := range []string{"", "x", "tag-000123"} {
+		if got := len(AppendStr(nil, s)); got != StrSize(s) {
+			t.Errorf("StrSize(%q) = %d, encoded %d", s, StrSize(s), got)
+		}
+	}
+}

@@ -2,12 +2,11 @@ package pipeline
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"time"
 
+	"tagsim/internal/colfmt"
 	"tagsim/internal/trace"
 )
 
@@ -36,6 +35,8 @@ import (
 // The column-per-field layout mirrors the analysis index's int64-nano
 // time columns, so a future reader can scan one column without decoding
 // the rest; the frame length prefix lets readers skip frames wholesale.
+// The framing mechanics are internal/colfmt's — the same codec behind
+// the truth log and the storage engine's WAL and segments.
 const reportLogMagic = "TAGRPT1\n"
 
 // DefaultSinkFlush is the default reports-per-frame of the columnar
@@ -46,7 +47,7 @@ const DefaultSinkFlush = 4096
 
 // maxFrameBytes bounds a frame a reader will accept, so a corrupt
 // length prefix cannot drive an allocation by gigabytes.
-const maxFrameBytes = 64 << 20
+const maxFrameBytes = colfmt.MaxFrameBytes
 
 // ReportWriter encodes reports into the columnar log. It is not safe
 // for concurrent use; the pipeline drives it from one consumer
@@ -54,6 +55,7 @@ const maxFrameBytes = 64 << 20
 type ReportWriter struct {
 	w          *bufio.Writer
 	batch      []trace.Report
+	payload    []byte // reused frame-encode buffer
 	flushEvery int
 	wroteMagic bool
 	closed     bool
@@ -108,79 +110,46 @@ func (w *ReportWriter) writeFrame() error {
 		}
 	}
 	rs := w.batch
-	payload := 4 // count
-	payload += len(rs) * (8 + 8 + 8 + 8 + 8 + 1)
+	size := 4 // count
+	size += len(rs) * (8 + 8 + 8 + 8 + 8 + 1)
 	for _, r := range rs {
-		payload += 4 + len(r.TagID) + 4 + len(r.ReporterID)
+		size += colfmt.StrSize(r.TagID) + colfmt.StrSize(r.ReporterID)
 	}
-	if payload > maxFrameBytes {
+	if size > maxFrameBytes {
 		// Refuse to write what the package's own reader would reject
 		// (and what a u32 length prefix could silently truncate past
 		// 4 GiB). Callers hit this only with an absurd flushEvery.
-		return fmt.Errorf("pipeline: frame of %d reports is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(rs), payload, maxFrameBytes)
+		return fmt.Errorf("pipeline: frame of %d reports is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(rs), size, maxFrameBytes)
 	}
-	var scratch [8]byte
-	putU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := w.w.Write(scratch[:4])
+	p := w.payload[:0]
+	p = colfmt.AppendU32(p, uint32(len(rs)))
+	for _, r := range rs {
+		p = colfmt.AppendI64(p, r.T.UnixNano())
+	}
+	for _, r := range rs {
+		p = colfmt.AppendI64(p, r.HeardAt.UnixNano())
+	}
+	for _, r := range rs {
+		p = colfmt.AppendF64(p, r.Pos.Lat)
+	}
+	for _, r := range rs {
+		p = colfmt.AppendF64(p, r.Pos.Lon)
+	}
+	for _, r := range rs {
+		p = colfmt.AppendF64(p, r.RSSI)
+	}
+	for _, r := range rs {
+		p = append(p, byte(r.Vendor))
+	}
+	for _, r := range rs {
+		p = colfmt.AppendStr(p, r.TagID)
+	}
+	for _, r := range rs {
+		p = colfmt.AppendStr(p, r.ReporterID)
+	}
+	w.payload = p
+	if err := colfmt.WriteFrame(w.w, p); err != nil {
 		return err
-	}
-	putU64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := w.w.Write(scratch[:8])
-		return err
-	}
-	if err := putU32(uint32(payload)); err != nil {
-		return err
-	}
-	if err := putU32(uint32(len(rs))); err != nil {
-		return err
-	}
-	for _, r := range rs {
-		if err := putU64(uint64(r.T.UnixNano())); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU64(uint64(r.HeardAt.UnixNano())); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU64(math.Float64bits(r.Pos.Lat)); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU64(math.Float64bits(r.Pos.Lon)); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU64(math.Float64bits(r.RSSI)); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := w.w.WriteByte(byte(r.Vendor)); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU32(uint32(len(r.TagID))); err != nil {
-			return err
-		}
-		if _, err := w.w.WriteString(r.TagID); err != nil {
-			return err
-		}
-	}
-	for _, r := range rs {
-		if err := putU32(uint32(len(r.ReporterID))); err != nil {
-			return err
-		}
-		if _, err := w.w.WriteString(r.ReporterID); err != nil {
-			return err
-		}
 	}
 	w.batch = w.batch[:0]
 	return nil
@@ -222,23 +191,13 @@ func (r *ReportReader) Next() ([]trace.Report, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+	payload, err := colfmt.ReadFrame(r.r)
+	if err != nil {
 		if err == io.EOF {
 			r.err = io.EOF
-			return nil, io.EOF
+		} else {
+			r.err = fmt.Errorf("pipeline: report log: %w", err)
 		}
-		r.err = fmt.Errorf("pipeline: frame length: %w", err)
-		return nil, r.err
-	}
-	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
-	if payloadLen < 4 || payloadLen > maxFrameBytes {
-		r.err = fmt.Errorf("pipeline: implausible frame length %d", payloadLen)
-		return nil, r.err
-	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		r.err = fmt.Errorf("pipeline: truncated frame: %w", err)
 		return nil, r.err
 	}
 	reports, err := decodeFrame(payload)
@@ -274,83 +233,45 @@ func ReadReports(r io.Reader) ([]trace.Report, error) {
 }
 
 func decodeFrame(payload []byte) ([]trace.Report, error) {
-	off := 0
-	u32 := func() (uint32, error) {
-		if off+4 > len(payload) {
-			return 0, fmt.Errorf("pipeline: frame underrun at byte %d", off)
-		}
-		v := binary.LittleEndian.Uint32(payload[off:])
-		off += 4
-		return v, nil
-	}
-	u64 := func() (uint64, error) {
-		if off+8 > len(payload) {
-			return 0, fmt.Errorf("pipeline: frame underrun at byte %d", off)
-		}
-		v := binary.LittleEndian.Uint64(payload[off:])
-		off += 8
-		return v, nil
-	}
-	count, err := u32()
-	if err != nil {
-		return nil, err
-	}
+	d := colfmt.NewDec(payload)
+	count := d.U32()
 	fixed := int(count) * (8 + 8 + 8 + 8 + 8 + 1)
-	if fixed < 0 || off+fixed > len(payload) {
+	if d.Err() != nil || fixed < 0 || d.Off()+fixed > len(payload) {
 		return nil, fmt.Errorf("pipeline: frame count %d exceeds payload", count)
 	}
 	out := make([]trace.Report, count)
 	for i := range out {
-		v, _ := u64()
-		out[i].T = time.Unix(0, int64(v)).UTC()
+		out[i].T = time.Unix(0, d.I64()).UTC()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].HeardAt = time.Unix(0, int64(v)).UTC()
+		out[i].HeardAt = time.Unix(0, d.I64()).UTC()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].Pos.Lat = math.Float64frombits(v)
+		out[i].Pos.Lat = d.F64()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].Pos.Lon = math.Float64frombits(v)
+		out[i].Pos.Lon = d.F64()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].RSSI = math.Float64frombits(v)
+		out[i].RSSI = d.F64()
 	}
 	for i := range out {
-		if off >= len(payload) {
-			return nil, fmt.Errorf("pipeline: frame underrun at byte %d", off)
-		}
-		out[i].Vendor = trace.Vendor(payload[off])
-		off++
-	}
-	str := func() (string, error) {
-		n, err := u32()
-		if err != nil {
-			return "", err
-		}
-		if off+int(n) > len(payload) {
-			return "", fmt.Errorf("pipeline: string column underrun at byte %d", off)
-		}
-		s := string(payload[off : off+int(n)])
-		off += int(n)
-		return s, nil
+		out[i].Vendor = trace.Vendor(d.U8())
 	}
 	for i := range out {
-		if out[i].TagID, err = str(); err != nil {
-			return nil, err
+		out[i].TagID = d.Str()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("pipeline: report frame: %w", d.Err())
 		}
 	}
 	for i := range out {
-		if out[i].ReporterID, err = str(); err != nil {
-			return nil, err
+		out[i].ReporterID = d.Str()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("pipeline: report frame: %w", d.Err())
 		}
 	}
-	if off != len(payload) {
-		return nil, fmt.Errorf("pipeline: %d trailing bytes in frame", len(payload)-off)
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("pipeline: report frame: %w", err)
 	}
 	return out, nil
 }

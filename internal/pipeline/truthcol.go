@@ -5,10 +5,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"time"
 
+	"tagsim/internal/colfmt"
 	"tagsim/internal/obs"
 	"tagsim/internal/trace"
 )
@@ -65,6 +65,9 @@ type TruthFrame struct {
 	LastT  int64
 }
 
+// The framing (length prefixes, the index sentinel, the seekable
+// trailer) is internal/colfmt's shared codec.
+//
 // TruthWriter encodes ground-truth fixes into the columnar log. Strict
 // writers (NewTruthWriter) enforce non-decreasing fix times, which is
 // what entitles readers to binary-search the frame index; the pipeline's
@@ -73,6 +76,7 @@ type TruthFrame struct {
 type TruthWriter struct {
 	w          *bufio.Writer
 	batch      []trace.GroundTruth
+	payload    []byte // reused frame-encode buffer
 	flushEvery int
 	strict     bool
 	off        int64 // logical bytes written (magic + frames)
@@ -136,47 +140,26 @@ func (w *TruthWriter) Close() error {
 		w.off += int64(len(truthLogMagic))
 	}
 	indexOffset := w.off
-	var scratch [8]byte
-	putU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := w.w.Write(scratch[:4])
-		return err
-	}
-	putU64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := w.w.Write(scratch[:8])
-		return err
-	}
-	if err := putU32(truthIndexMark); err != nil {
-		return err
-	}
-	if err := putU32(uint32(4 + len(w.frames)*(8+4+8+8))); err != nil {
-		return err
-	}
-	if err := putU32(uint32(len(w.frames))); err != nil {
-		return err
-	}
+	p := w.payload[:0]
+	p = colfmt.AppendU32(p, uint32(len(w.frames)))
 	for _, fr := range w.frames {
-		if err := putU64(uint64(fr.Offset)); err != nil {
-			return err
-		}
-		if err := putU32(uint32(fr.Count)); err != nil {
-			return err
-		}
-		if err := putU64(uint64(fr.FirstT)); err != nil {
-			return err
-		}
-		if err := putU64(uint64(fr.LastT)); err != nil {
-			return err
-		}
+		p = colfmt.AppendU64(p, uint64(fr.Offset))
+		p = colfmt.AppendU32(p, uint32(fr.Count))
+		p = colfmt.AppendI64(p, fr.FirstT)
+		p = colfmt.AppendI64(p, fr.LastT)
 	}
-	if err := putU64(uint64(indexOffset)); err != nil {
+	var mark [4]byte
+	binary.LittleEndian.PutUint32(mark[:], truthIndexMark)
+	if _, err := w.w.Write(mark[:]); err != nil {
 		return err
 	}
-	if _, err := w.w.WriteString(truthTrailerMagic); err != nil {
+	if err := colfmt.WriteFrame(w.w, p); err != nil {
 		return err
 	}
-	obsTruthSpill.Add(uint64(4 + 4 + 4 + len(w.frames)*(8+4+8+8) + 8 + len(truthTrailerMagic)))
+	if err := colfmt.WriteTrailer(w.w, indexOffset, truthTrailerMagic); err != nil {
+		return err
+	}
+	obsTruthSpill.Add(uint64(4 + 4 + len(p) + colfmt.TrailerLen))
 	return w.w.Flush()
 }
 
@@ -190,63 +173,37 @@ func (w *TruthWriter) writeFrame() error {
 		obsTruthSpill.Add(uint64(len(truthLogMagic)))
 	}
 	fs := w.batch
-	payload := 4 // count
-	payload += len(fs) * (8 + 8 + 8 + 8 + 8)
+	size := 4 // count
+	size += len(fs) * (8 + 8 + 8 + 8 + 8)
 	for _, f := range fs {
-		payload += 4 + len(f.VantageID)
+		size += colfmt.StrSize(f.VantageID)
 	}
-	if payload > maxFrameBytes {
-		return fmt.Errorf("pipeline: truth frame of %d fixes is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(fs), payload, maxFrameBytes)
+	if size > maxFrameBytes {
+		return fmt.Errorf("pipeline: truth frame of %d fixes is %d bytes, exceeding the %d-byte frame cap; use a smaller flushEvery", len(fs), size, maxFrameBytes)
 	}
-	var scratch [8]byte
-	putU32 := func(v uint32) error {
-		binary.LittleEndian.PutUint32(scratch[:4], v)
-		_, err := w.w.Write(scratch[:4])
+	p := w.payload[:0]
+	p = colfmt.AppendU32(p, uint32(len(fs)))
+	for _, f := range fs {
+		p = colfmt.AppendI64(p, f.T.UnixNano())
+	}
+	for _, f := range fs {
+		p = colfmt.AppendI64(p, f.UploadedAt.UnixNano())
+	}
+	for _, f := range fs {
+		p = colfmt.AppendF64(p, f.Pos.Lat)
+	}
+	for _, f := range fs {
+		p = colfmt.AppendF64(p, f.Pos.Lon)
+	}
+	for _, f := range fs {
+		p = colfmt.AppendF64(p, f.SpeedKmh)
+	}
+	for _, f := range fs {
+		p = colfmt.AppendStr(p, f.VantageID)
+	}
+	w.payload = p
+	if err := colfmt.WriteFrame(w.w, p); err != nil {
 		return err
-	}
-	putU64 := func(v uint64) error {
-		binary.LittleEndian.PutUint64(scratch[:8], v)
-		_, err := w.w.Write(scratch[:8])
-		return err
-	}
-	if err := putU32(uint32(payload)); err != nil {
-		return err
-	}
-	if err := putU32(uint32(len(fs))); err != nil {
-		return err
-	}
-	for _, f := range fs {
-		if err := putU64(uint64(f.T.UnixNano())); err != nil {
-			return err
-		}
-	}
-	for _, f := range fs {
-		if err := putU64(uint64(f.UploadedAt.UnixNano())); err != nil {
-			return err
-		}
-	}
-	for _, f := range fs {
-		if err := putU64(math.Float64bits(f.Pos.Lat)); err != nil {
-			return err
-		}
-	}
-	for _, f := range fs {
-		if err := putU64(math.Float64bits(f.Pos.Lon)); err != nil {
-			return err
-		}
-	}
-	for _, f := range fs {
-		if err := putU64(math.Float64bits(f.SpeedKmh)); err != nil {
-			return err
-		}
-	}
-	for _, f := range fs {
-		if err := putU32(uint32(len(f.VantageID))); err != nil {
-			return err
-		}
-		if _, err := w.w.WriteString(f.VantageID); err != nil {
-			return err
-		}
 	}
 	w.frames = append(w.frames, TruthFrame{
 		Offset: w.off,
@@ -254,8 +211,8 @@ func (w *TruthWriter) writeFrame() error {
 		FirstT: fs[0].T.UnixNano(),
 		LastT:  fs[len(fs)-1].T.UnixNano(),
 	})
-	w.off += int64(4 + payload)
-	obsTruthSpill.Add(uint64(4 + payload))
+	w.off += colfmt.FrameSize(len(p))
+	obsTruthSpill.Add(uint64(colfmt.FrameSize(len(p))))
 	w.batch = w.batch[:0]
 	return nil
 }
@@ -273,29 +230,10 @@ func WriteTruth(w io.Writer, fixes []trace.GroundTruth, flushEvery int) error {
 
 // decodeTruthFrame decodes one data frame payload.
 func decodeTruthFrame(payload []byte, dst []trace.GroundTruth) ([]trace.GroundTruth, error) {
-	off := 0
-	u32 := func() (uint32, error) {
-		if off+4 > len(payload) {
-			return 0, fmt.Errorf("pipeline: truth frame underrun at byte %d", off)
-		}
-		v := binary.LittleEndian.Uint32(payload[off:])
-		off += 4
-		return v, nil
-	}
-	u64 := func() (uint64, error) {
-		if off+8 > len(payload) {
-			return 0, fmt.Errorf("pipeline: truth frame underrun at byte %d", off)
-		}
-		v := binary.LittleEndian.Uint64(payload[off:])
-		off += 8
-		return v, nil
-	}
-	count, err := u32()
-	if err != nil {
-		return nil, err
-	}
+	d := colfmt.NewDec(payload)
+	count := d.U32()
 	fixed := int(count) * (8 + 8 + 8 + 8 + 8)
-	if fixed < 0 || off+fixed > len(payload) {
+	if d.Err() != nil || fixed < 0 || d.Off()+fixed > len(payload) {
 		return nil, fmt.Errorf("pipeline: truth frame count %d exceeds payload", count)
 	}
 	out := dst[:0]
@@ -303,38 +241,28 @@ func decodeTruthFrame(payload []byte, dst []trace.GroundTruth) ([]trace.GroundTr
 		out = append(out, trace.GroundTruth{})
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].T = time.Unix(0, int64(v)).UTC()
+		out[i].T = time.Unix(0, d.I64()).UTC()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].UploadedAt = time.Unix(0, int64(v)).UTC()
+		out[i].UploadedAt = time.Unix(0, d.I64()).UTC()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].Pos.Lat = math.Float64frombits(v)
+		out[i].Pos.Lat = d.F64()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].Pos.Lon = math.Float64frombits(v)
+		out[i].Pos.Lon = d.F64()
 	}
 	for i := range out {
-		v, _ := u64()
-		out[i].SpeedKmh = math.Float64frombits(v)
+		out[i].SpeedKmh = d.F64()
 	}
 	for i := range out {
-		n, err := u32()
-		if err != nil {
-			return nil, err
+		out[i].VantageID = d.Str()
+		if d.Err() != nil {
+			return nil, fmt.Errorf("pipeline: truth frame: %w", d.Err())
 		}
-		if off+int(n) > len(payload) {
-			return nil, fmt.Errorf("pipeline: truth string column underrun at byte %d", off)
-		}
-		out[i].VantageID = string(payload[off : off+int(n)])
-		off += int(n)
 	}
-	if off != len(payload) {
-		return nil, fmt.Errorf("pipeline: %d trailing bytes in truth frame", len(payload)-off)
+	if err := d.Close(); err != nil {
+		return nil, fmt.Errorf("pipeline: truth frame: %w", err)
 	}
 	return out, nil
 }
@@ -366,27 +294,13 @@ func (r *TruthReader) Next() ([]trace.GroundTruth, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
-		if err == io.EOF {
-			r.err = io.EOF
-			return nil, io.EOF
-		}
-		r.err = fmt.Errorf("pipeline: truth frame length: %w", err)
-		return nil, r.err
-	}
-	payloadLen := binary.LittleEndian.Uint32(lenBuf[:])
-	if payloadLen == truthIndexMark {
+	payload, err := colfmt.ReadFrame(r.r)
+	if err == io.EOF || err == colfmt.ErrIndexMark {
 		r.err = io.EOF
 		return nil, io.EOF
 	}
-	if payloadLen < 4 || payloadLen > maxFrameBytes {
-		r.err = fmt.Errorf("pipeline: implausible truth frame length %d", payloadLen)
-		return nil, r.err
-	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r.r, payload); err != nil {
-		r.err = fmt.Errorf("pipeline: truncated truth frame: %w", err)
+	if err != nil {
+		r.err = fmt.Errorf("pipeline: truth log: %w", err)
 		return nil, r.err
 	}
 	fixes, err := decodeTruthFrame(payload, nil)
@@ -442,19 +356,9 @@ func OpenTruthFile(r io.ReaderAt, size int64) (*TruthFile, error) {
 	if string(magic) != truthLogMagic {
 		return nil, fmt.Errorf("pipeline: bad truth log magic %q", magic)
 	}
-	if size < int64(len(truthLogMagic))+16 {
-		return nil, fmt.Errorf("pipeline: truth log too short (%d bytes) for a trailer", size)
-	}
-	trailer := make([]byte, 16)
-	if _, err := r.ReadAt(trailer, size-16); err != nil {
-		return nil, fmt.Errorf("pipeline: truth log trailer: %w", err)
-	}
-	if string(trailer[8:]) != truthTrailerMagic {
-		return nil, fmt.Errorf("pipeline: bad truth trailer magic %q (truncated log?)", trailer[8:])
-	}
-	indexOffset := int64(binary.LittleEndian.Uint64(trailer[:8]))
-	if indexOffset < int64(len(truthLogMagic)) || indexOffset >= size-16 {
-		return nil, fmt.Errorf("pipeline: implausible truth index offset %d", indexOffset)
+	indexOffset, err := colfmt.ReadTrailer(r, size, truthTrailerMagic)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: truth log: %w", err)
 	}
 	head := make([]byte, 8)
 	if _, err := r.ReadAt(head, indexOffset); err != nil {

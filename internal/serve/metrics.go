@@ -79,6 +79,13 @@ func (s *Server) registerCollectors() {
 	r.Help("serve_latency_seconds", "service latency by endpoint")
 	r.Help("serve_requests_total", "requests by endpoint and status class")
 	r.Help("cache_hits_total", "hot-tag cache probes answered by a valid entry")
+	r.Help("store_wal_bytes", "active WAL size (resets on rotation)")
+	r.Help("store_wal_fsyncs_total", "WAL fsync batches")
+	r.Help("store_flushes_total", "memtable flushes to immutable segments")
+	r.Help("store_compactions_total", "segment-run merges")
+	r.Help("store_segments", "live immutable segments")
+	r.Help("store_segment_bytes", "bytes across live segments")
+	r.Help("store_segments_quarantined_total", "segments failing checksum validation, renamed aside")
 	for _, svc := range s.svcs {
 		svc := svc
 		vendor := obs.L("vendor", svc.Vendor().String())
@@ -96,6 +103,22 @@ func (s *Server) registerCollectors() {
 				func() uint64 { return svc.ShardStats(i).Epoch }, vendor, shard)
 			r.GaugeFunc("store_shard_tags",
 				func() float64 { return float64(svc.ShardStats(i).Tags) }, vendor, shard)
+		}
+		if svc.Tiered() {
+			// The storage tier underneath this vendor: every series is a
+			// collect-on-scrape read of the tier's atomics — the ingest
+			// and flush paths never see the registry.
+			r.GaugeFunc("store_wal_bytes", func() float64 { return float64(svc.TierStats().WALBytes) }, vendor)
+			r.CounterFunc("store_wal_records_total", func() uint64 { return svc.TierStats().WALRecords }, vendor)
+			r.CounterFunc("store_wal_fsyncs_total", func() uint64 { return svc.TierStats().WALFsyncs }, vendor)
+			r.CounterFunc("store_flushes_total", func() uint64 { return svc.TierStats().Flushes }, vendor)
+			r.CounterFunc("store_compactions_total", func() uint64 { return svc.TierStats().Compactions }, vendor)
+			r.CounterFunc("store_compacted_bytes_total", func() uint64 { return svc.TierStats().CompactedBytes }, vendor)
+			r.CounterFunc("store_segments_quarantined_total", func() uint64 { return svc.TierStats().Quarantined }, vendor)
+			r.CounterFunc("store_read_errors_total", func() uint64 { return svc.TierStats().ReadErrors }, vendor)
+			r.GaugeFunc("store_segments", func() float64 { return float64(svc.TierStats().Segments) }, vendor)
+			r.GaugeFunc("store_segment_bytes", func() float64 { return float64(svc.TierStats().SegmentBytes) }, vendor)
+			r.GaugeFunc("store_memtable_bytes", func() float64 { return float64(svc.TierStats().MemtableBytes) }, vendor)
 		}
 	}
 	r.CounterFunc("cache_hits_total", func() uint64 { return s.cache.Stats().Hits })

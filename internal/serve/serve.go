@@ -36,6 +36,7 @@ import (
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
 	"tagsim/internal/obs"
+	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
 
@@ -131,13 +132,22 @@ type VendorStats struct {
 	Rejected uint64 `json:"rejected"`
 }
 
+// VendorStorage is one vendor store's storage-tier snapshot: WAL and
+// segment sizes, flush/compaction activity, quarantine counters.
+type VendorStorage struct {
+	Vendor string `json:"vendor"`
+	store.TierStats
+}
+
 // StatsResponse aggregates every vendor's counters plus the hot-tag
 // cache's effectiveness counters — the runtime decomposition of the
 // cached read path (how much of the query mass the cache absorbs, and
-// whether misses come from writes or collisions).
+// whether misses come from writes or collisions) — and, for persistent
+// stores, the storage tier underneath each vendor.
 type StatsResponse struct {
 	Vendors []VendorStats    `json:"vendors"`
 	Cache   cloud.CacheStats `json:"cache"`
+	Storage []VendorStorage  `json:"storage,omitempty"`
 }
 
 // IngestResponse answers POST /v1/report.
@@ -418,6 +428,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	resp.Cache = s.cache.Stats()
+	for _, svc := range s.svcs {
+		if svc.Tiered() {
+			resp.Storage = append(resp.Storage, VendorStorage{
+				Vendor: svc.Vendor().String(), TierStats: svc.TierStats(),
+			})
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

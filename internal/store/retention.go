@@ -1,0 +1,116 @@
+package store
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"tagsim/internal/trace"
+)
+
+// Retention generalizes HistoryLimit into the storage engine's per-tag
+// history policy. The two knobs compose (a report is retained only if it
+// passes both):
+//
+//   - KeepLast bounds each tag's history to the newest N accepted
+//     reports — HistoryLimit's semantics, enforced by the memtable ring
+//     in the in-memory store and at read/compaction time in the tiered
+//     one.
+//   - KeepWindow drops reports observed more than the window before the
+//     tag's newest report. The clock is per tag (its own last-seen
+//     instant), never the wall clock, so retention is deterministic for
+//     deterministic ingest and a dormant tag's trail does not silently
+//     evaporate while nothing changes.
+//
+// Zero values mean "keep everything" on that axis. The policy is
+// advisory visibility for reads everywhere; the tiered store's
+// compaction additionally uses it to drop segment rows no read can ever
+// return again.
+type Retention struct {
+	// KeepLast retains the newest N accepted reports per tag (0: all).
+	KeepLast int
+	// KeepWindow retains reports observed within this window of the
+	// tag's newest report (0: all).
+	KeepWindow time.Duration
+}
+
+// IsZero reports whether the policy keeps everything.
+func (r Retention) IsZero() bool { return r.KeepLast == 0 && r.KeepWindow == 0 }
+
+// String renders the policy in ParseRetention's syntax.
+func (r Retention) String() string {
+	switch {
+	case r.IsZero():
+		return "all"
+	case r.KeepWindow == 0:
+		return fmt.Sprintf("keep=%d", r.KeepLast)
+	case r.KeepLast == 0:
+		return fmt.Sprintf("window=%s", r.KeepWindow)
+	default:
+		return fmt.Sprintf("keep=%d,window=%s", r.KeepLast, r.KeepWindow)
+	}
+}
+
+// ParseRetention parses a retention policy flag: a comma-separated list
+// of "keep=N" (newest N reports) and "window=DUR" (e.g. "window=72h")
+// clauses. "" and "all" keep everything.
+func ParseRetention(s string) (Retention, error) {
+	var r Retention
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return r, nil
+	}
+	for _, clause := range strings.Split(s, ",") {
+		key, val, found := strings.Cut(strings.TrimSpace(clause), "=")
+		if !found {
+			return Retention{}, fmt.Errorf("store: retention clause %q is not key=value (want keep=N or window=DUR)", clause)
+		}
+		switch key {
+		case "keep":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return Retention{}, fmt.Errorf("store: bad retention keep count %q", val)
+			}
+			r.KeepLast = n
+		case "window":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Retention{}, fmt.Errorf("store: bad retention window %q", val)
+			}
+			r.KeepWindow = d
+		default:
+			return Retention{}, fmt.Errorf("store: unknown retention clause %q (want keep=N or window=DUR)", key)
+		}
+	}
+	return r, nil
+}
+
+// keepLast resolves the effective newest-N bound: Retention.KeepLast
+// when set, else the historical HistoryLimit field.
+func (s *Store) keepLast() int {
+	if s.Retention.KeepLast > 0 {
+		return s.Retention.KeepLast
+	}
+	return s.HistoryLimit
+}
+
+// trimWindow drops the leading (oldest) reports observed more than the
+// window before lastAt, in place. Reports are in acceptance order, which
+// ingest keeps time-sorted per tag, so the survivors are a suffix.
+func trimWindow(reports []trace.Report, lastAt time.Time, window time.Duration) []trace.Report {
+	if window <= 0 || len(reports) == 0 {
+		return reports
+	}
+	cutoff := lastAt.Add(-window)
+	// Walk from the newest end so a long retained suffix costs only its
+	// own length; stop at the first report past the cutoff.
+	keepFrom := len(reports)
+	for keepFrom > 0 && !seenAt(reports[keepFrom-1]).Before(cutoff) {
+		keepFrom--
+	}
+	if keepFrom == 0 {
+		return reports
+	}
+	return reports[keepFrom:]
+}

@@ -79,11 +79,19 @@ type Store struct {
 	// recent N accepted reports. 0 keeps everything — the historical
 	// behavior, which experiments that join full histories rely on.
 	HistoryLimit int
+	// Retention generalizes HistoryLimit into the storage engine's
+	// policy (keep-N and keep-window compose; see Retention). A zero
+	// value defers to HistoryLimit.
+	Retention Retention
 
 	shards   []shard
 	mask     uint64
 	accepted atomic.Uint64
 	rejected atomic.Uint64
+	// tier is the persistence layer (WAL, segments, compaction) behind
+	// stores built with Open; nil for in-memory stores, and every tier
+	// branch below compiles down to one nil check.
+	tier *tier
 }
 
 // readView is a shard's atomically published tag map. The map itself is
@@ -120,7 +128,11 @@ type shard struct {
 	// in the totals). Bumped under mu like the totals.
 	accepted atomic.Uint64
 	rejected atomic.Uint64
-	_        [8]byte
+	// flushDirty, in tiered stores, is the set of tags whose state
+	// changed since the last flush — the flush's work list. Guarded by
+	// mu; nil when clean.
+	flushDirty map[string]struct{}
+	_          [8]byte
 }
 
 // tagState is one tag's state cell. The mutable fields are owned by the
@@ -132,7 +144,10 @@ type tagState struct {
 	hasLast bool
 	hist    []trace.Report
 	histAt  int // ring write index once len(hist) == HistoryLimit
-	view    atomic.Pointer[tagView]
+	// persisted counts the tag's history rows flushed to segments; the
+	// ring holds only rows newer than that. Always 0 in-memory.
+	persisted uint64
+	view      atomic.Pointer[tagView]
 }
 
 // tagView is the immutable per-tag state record the lock-free read path
@@ -147,6 +162,13 @@ type tagView struct {
 	hasLast bool
 	hist    []trace.Report
 	histAt  int
+	// persisted is the tag's on-disk row count as of this view. Readers
+	// fetch disk rows by persisted-sequence range [persisted-n,
+	// persisted), which is what keeps a flush racing a lock-free read
+	// harmless: a stale view's rows are still in its ring, and any
+	// newer disk copies sit above its persisted bound, outside the
+	// requested range.
+	persisted uint64
 }
 
 // publish snapshots the mutable state into a fresh immutable view. Must
@@ -155,6 +177,7 @@ func (st *tagState) publish() {
 	st.view.Store(&tagView{
 		lastPos: st.lastPos, lastAt: st.lastAt, hasLast: st.hasLast,
 		hist: st.hist[:len(st.hist):len(st.hist)], histAt: st.histAt,
+		persisted: st.persisted,
 	})
 }
 
@@ -313,6 +336,9 @@ func (s *Store) Register(tagID string) {
 	sh.mu.Lock()
 	if _, created := sh.stateLocked(tagID); created {
 		sh.epoch.Add(1)
+		if s.tier != nil {
+			s.tier.logRegister(sh, tagID)
+		}
 	}
 	sh.mu.Unlock()
 }
@@ -343,6 +369,9 @@ func (s *Store) Ingest(r trace.Report) bool {
 		if created {
 			sh.epoch.Add(1)
 		}
+		if s.tier != nil {
+			s.tier.logReject(r.TagID)
+		}
 		sh.mu.Unlock()
 		return false
 	}
@@ -350,13 +379,19 @@ func (s *Store) Ingest(r trace.Report) bool {
 	st.lastAt = at
 	st.hasLast = true
 	if s.KeepHistory {
-		st.appendHistory(r, s.HistoryLimit)
+		st.appendHistory(r, s.keepLast())
 	}
 	st.publish()
 	sh.epoch.Add(1)
 	s.accepted.Add(1)
 	sh.accepted.Add(1)
+	if s.tier != nil {
+		s.tier.logApply(sh, r, s.KeepHistory)
+	}
 	sh.mu.Unlock()
+	if s.tier != nil {
+		s.tier.maybeFlush(s)
+	}
 	return true
 }
 
@@ -378,13 +413,19 @@ func (s *Store) Restore(reports []trace.Report) {
 			st.hasLast = true
 		}
 		if s.KeepHistory {
-			st.appendHistory(r, s.HistoryLimit)
+			st.appendHistory(r, s.keepLast())
 		}
 		st.publish()
 		sh.epoch.Add(1)
 		s.accepted.Add(1)
 		sh.accepted.Add(1)
+		if s.tier != nil {
+			s.tier.logApply(sh, r, s.KeepHistory)
+		}
 		sh.mu.Unlock()
+		if s.tier != nil {
+			s.tier.maybeFlush(s)
+		}
 	}
 }
 
@@ -447,26 +488,62 @@ func (s *Store) History(tagID string) []trace.Report {
 }
 
 // RecentHistory returns a copy of the newest limit retained reports for
-// a tag, oldest-first, copying only those limit entries out of the ring
-// (limit < 0: everything, i.e. History). A capped query over a long
-// history never materializes the full ring. nil means no history at
-// all; limit 0 against a tag with history is an empty non-nil slice.
+// a tag, oldest-first (limit < 0: everything, i.e. History). A capped
+// query copies only those limit entries out of the ring, and in a
+// tiered store touches only the segment frames holding the remainder.
+// nil means no history at all; limit 0 against a tag with history is an
+// empty non-nil slice.
 func (s *Store) RecentHistory(tagID string, limit int) []trace.Report {
 	sh := s.shardFor(tagID)
 	if lockedReads.Load() {
 		var out []trace.Report
 		sh.mu.Lock()
 		if st := sh.getLocked(tagID); st != nil {
-			out = ringCopy(st.hist, st.histAt, limit)
+			out = s.visibleHistory(tagID, st.persisted, st.hist, st.histAt, st.lastAt, limit)
 		}
 		sh.mu.Unlock()
 		return out
 	}
 	if st := sh.lookup(tagID); st != nil {
 		v := st.view.Load()
-		return ringCopy(v.hist, v.histAt, limit)
+		return s.visibleHistory(tagID, v.persisted, v.hist, v.histAt, v.lastAt, limit)
 	}
 	return nil
+}
+
+// visibleHistory assembles the newest-limit reports the Retention
+// policy leaves visible for one tag, oldest-first: ring rows as far as
+// they reach, persisted (segment) rows for the remainder. It is the
+// single read path shared by the lock-free views, the locked escape
+// hatch, and Snapshot — in-memory stores (persisted 0) reduce to the
+// historical ringCopy.
+func (s *Store) visibleHistory(tagID string, persisted uint64, hist []trace.Report, histAt int, lastAt time.Time, limit int) []trace.Report {
+	total := int(persisted) + len(hist)
+	if total == 0 {
+		return nil
+	}
+	if k := s.keepLast(); k > 0 && total > k {
+		total = k
+	}
+	n := total
+	if limit >= 0 && limit < n {
+		n = limit
+	}
+	var out []trace.Report
+	switch need := n - len(hist); {
+	case n == 0:
+		out = make([]trace.Report, 0)
+	case need <= 0:
+		out = ringCopy(hist, histAt, n)
+	default:
+		out = make([]trace.Report, 0, n)
+		out = s.tier.readDisk(tagID, persisted, need, out)
+		out = append(out, ringCopy(hist, histAt, -1)...)
+	}
+	if w := s.Retention.KeepWindow; w > 0 {
+		out = trimWindow(out, lastAt, w)
+	}
+	return out
 }
 
 // TagIDs returns the registered tags in sorted order.
@@ -559,7 +636,7 @@ func (s *Store) Snapshot() Snapshot {
 		for id, st := range s.shards[i].allLocked() {
 			snap.Tags = append(snap.Tags, TagSnapshot{
 				ID: id, Pos: st.lastPos, At: st.lastAt, HasLast: st.hasLast,
-				History: st.historyCopy(),
+				History: s.visibleHistory(id, st.persisted, st.hist, st.histAt, st.lastAt, -1),
 			})
 		}
 	}

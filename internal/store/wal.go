@@ -1,0 +1,278 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"tagsim/internal/colfmt"
+	"tagsim/internal/geo"
+	"tagsim/internal/trace"
+)
+
+// encTime/decTime are the on-disk instant codec for the WAL and
+// segments. The zero time.Time must survive the round trip exactly —
+// seenAt falls back to Report.T when HeardAt.IsZero(), and a zero time
+// pushed through UnixNano decodes as a non-zero year-1754 instant,
+// which would silently flip that fallback after a restart — so zero
+// gets a sentinel no real instant uses.
+const zeroTimeNanos = math.MinInt64
+
+func encTime(t time.Time) int64 {
+	if t.IsZero() {
+		return zeroTimeNanos
+	}
+	return t.UnixNano()
+}
+
+func decTime(v int64) time.Time {
+	if v == zeroTimeNanos {
+		return time.Time{}
+	}
+	return time.Unix(0, v).UTC()
+}
+
+// The write-ahead log is the tiered store's durability frontier: every
+// state change (accepted report, restore, registration — and rejects,
+// so the counters replay exactly) appends one CRC-framed record before
+// the memtable mutation becomes visible, and a restart replays the
+// active WAL on top of the segment manifest to recover everything the
+// last flush had not yet made immutable.
+//
+// Layout (colfmt framing, little-endian):
+//
+//	file   := magic record*
+//	magic  := "TAGWAL1\n" (8 bytes)
+//	record := u32 payloadBytes | u32 crc32c | payload
+//	payload := u8 kind | body
+//	  kind 1 (apply):    i64 t | i64 heardAt | f64 lat | f64 lon |
+//	                     f64 rssi | u8 vendor | str tagID | str reporterID
+//	  kind 2 (register): str tagID
+//	  kind 3 (reject):   str tagID
+//
+// One record per frame keeps the torn-tail contract exact: a crash can
+// only lose whole trailing records, and replay stops at the first frame
+// that is short or fails its checksum (walReplay reports the byte offset
+// of the last whole record so the tail can be truncated before the log
+// is appended to again).
+//
+// Durability is fsync-batched: appends buffer through bufio and the file
+// is fsynced every SyncBytes of log (and on Sync/rotation/Close), so a
+// crash between fsyncs loses at most that batch — the classic group-
+// commit trade the flush threshold knobs expose.
+const walMagic = "TAGWAL1\n"
+
+// WAL record kinds.
+const (
+	walApply    = 1 // an accepted ingest or a restored report
+	walRegister = 2 // an explicit registration
+	walReject   = 3 // a rate-capped or non-advancing report (counters only)
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	kind   uint8
+	tagID  string
+	report trace.Report // valid for walApply
+}
+
+// walWriter appends records to the active WAL file. Appends take the
+// writer's own mutex (callers already hold their tag's shard lock, so
+// per-tag record order matches apply order).
+type walWriter struct {
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	payload   []byte // reused record-encode buffer
+	bytes     uint64 // logical bytes written (magic + frames)
+	unsynced  uint64 // bytes since the last fsync
+	syncBytes uint64 // fsync batch size
+	records   uint64
+	fsyncs    uint64
+	err       error // first write failure, sticky
+}
+
+// createWAL creates a fresh WAL file at path.
+func createWAL(path string, syncBytes uint64) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w := &walWriter{f: f, w: bufio.NewWriter(f), syncBytes: syncBytes}
+	if _, err := w.w.WriteString(walMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.bytes = uint64(len(walMagic))
+	// The header goes to disk before anyone can reference this WAL: a
+	// manifest must never point at a file a crash can leave empty.
+	if err := w.syncLocked(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// openWALAppend reopens an existing WAL for appending after replay,
+// truncating the torn tail (anything past lastGood) first.
+func openWALAppend(path string, lastGood int64, syncBytes uint64) (*walWriter, error) {
+	if err := os.Truncate(path, lastGood); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, w: bufio.NewWriter(f), syncBytes: syncBytes, bytes: uint64(lastGood)}, nil
+}
+
+// append encodes and writes one record, fsyncing when the batch fills.
+// It returns the WAL's running logical byte total, which the tier
+// mirrors into an atomic for its flush-threshold checks.
+func (w *walWriter) append(rec walRecord) (totalBytes uint64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.bytes, w.err
+	}
+	p := w.payload[:0]
+	p = append(p, rec.kind)
+	switch rec.kind {
+	case walApply:
+		r := rec.report
+		p = colfmt.AppendI64(p, encTime(r.T))
+		p = colfmt.AppendI64(p, encTime(r.HeardAt))
+		p = colfmt.AppendF64(p, r.Pos.Lat)
+		p = colfmt.AppendF64(p, r.Pos.Lon)
+		p = colfmt.AppendF64(p, r.RSSI)
+		p = append(p, byte(r.Vendor))
+		p = colfmt.AppendStr(p, r.TagID)
+		p = colfmt.AppendStr(p, r.ReporterID)
+	case walRegister, walReject:
+		p = colfmt.AppendStr(p, rec.tagID)
+	default:
+		return w.bytes, fmt.Errorf("store: unknown WAL record kind %d", rec.kind)
+	}
+	w.payload = p
+	if err := colfmt.WriteFrameCRC(w.w, p); err != nil {
+		w.err = err
+		return w.bytes, err
+	}
+	n := uint64(colfmt.FrameCRCSize(len(p)))
+	w.bytes += n
+	w.unsynced += n
+	w.records++
+	if w.unsynced >= w.syncBytes {
+		return w.bytes, w.syncLocked()
+	}
+	return w.bytes, nil
+}
+
+// sync flushes buffered records and fsyncs the file — the group-commit
+// barrier Store.Sync exposes.
+func (w *walWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+func (w *walWriter) syncLocked() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = err
+		return err
+	}
+	w.fsyncs++
+	w.unsynced = 0
+	return nil
+}
+
+// close syncs and closes the file.
+func (w *walWriter) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// stats returns the writer's counters.
+func (w *walWriter) stats() (bytes, records, fsyncs uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bytes, w.records, w.fsyncs
+}
+
+// walReplay reads records from a WAL file up to the last whole,
+// checksum-valid record. A torn or bit-flipped tail ends the replay
+// cleanly (the records before it are returned); only a bad header is an
+// error. lastGood is the file offset just past the last whole record —
+// the truncation point before the log is appended to again.
+func walReplay(path string) (records []walRecord, lastGood int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, 0, fmt.Errorf("store: WAL header: %w", err)
+	}
+	if string(magic) != walMagic {
+		return nil, 0, fmt.Errorf("store: bad WAL magic %q", magic)
+	}
+	lastGood = int64(len(walMagic))
+	for {
+		payload, err := colfmt.ReadFrameCRC(br)
+		if err != nil {
+			// io.EOF is the clean end; anything else is a torn or
+			// corrupt tail — replay keeps everything before it.
+			return records, lastGood, nil
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			return records, lastGood, nil
+		}
+		records = append(records, rec)
+		lastGood += colfmt.FrameCRCSize(len(payload))
+	}
+}
+
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	d := colfmt.NewDec(payload)
+	rec := walRecord{kind: d.U8()}
+	switch rec.kind {
+	case walApply:
+		r := trace.Report{}
+		r.T = decTime(d.I64())
+		r.HeardAt = decTime(d.I64())
+		r.Pos = geo.LatLon{Lat: d.F64(), Lon: d.F64()}
+		r.RSSI = d.F64()
+		r.Vendor = trace.Vendor(d.U8())
+		r.TagID = d.Str()
+		r.ReporterID = d.Str()
+		rec.report = r
+		rec.tagID = r.TagID
+	case walRegister, walReject:
+		rec.tagID = d.Str()
+	default:
+		return rec, fmt.Errorf("store: unknown WAL record kind %d", rec.kind)
+	}
+	if err := d.Close(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}

@@ -277,6 +277,16 @@ type (
 	// Registry is a named collection of obs series rendered by /metrics
 	// and /debug/vars.
 	Registry = obs.Registry
+	// StoreTiering configures a persistent report store: directory,
+	// memtable flush threshold, WAL fsync batching, retention,
+	// compaction fan-in.
+	StoreTiering = store.Tiering
+	// StoreRetention is the per-tag history policy (keep-last N,
+	// keep-window D, or both).
+	StoreRetention = store.Retention
+	// StoreTierStats is the storage tier's counter snapshot (WAL and
+	// segment sizes, flushes, compactions, quarantines).
+	StoreTierStats = store.TierStats
 )
 
 var (
@@ -286,6 +296,16 @@ var (
 	NewCloudServiceSharded = cloud.NewServiceSharded
 	// NewReportStore creates a bare sharded report store.
 	NewReportStore = store.New
+	// OpenReportStore creates or recovers a tiered persistent store
+	// (WAL + memtable + immutable columnar segments); with an empty
+	// directory it degenerates to an in-memory store.
+	OpenReportStore = store.Open
+	// NewCloudServicePersistent is NewCloudServiceSharded on a tiered
+	// persistent store — restarts warm-load from the store directory.
+	NewCloudServicePersistent = cloud.NewServicePersistent
+	// ParseStoreRetention parses "keep=N", "window=DUR", or both
+	// (comma-separated) into a StoreRetention.
+	ParseStoreRetention = store.ParseRetention
 	// NewQueryServer builds the vendor query API over per-vendor clouds.
 	NewQueryServer = serve.NewServer
 	// RunLoad drives a target with the load generator.
@@ -310,6 +330,11 @@ var (
 	// SetHotCache toggles the query plane's hot-tag caching (default
 	// on). It returns the previous setting.
 	SetHotCache = cloud.SetHotCache
+	// SetTieredStores toggles the persistent storage engine behind
+	// OpenReportStore (default on; off makes Open return in-memory
+	// stores — the escape hatch mirroring SetLockedReads). It returns
+	// the previous setting.
+	SetTieredStores = store.SetTiered
 	// SetMetrics toggles every obs counter, gauge, and histogram update
 	// process-wide (default on; the always-on metrics escape hatch). It
 	// returns the previous setting.
