@@ -18,9 +18,12 @@
 // DIR/truth.col, the columnar spill format behind
 // tagsim.SetResidentTruth. -metrics-every D logs the process-wide
 // metrics snapshot (scan ticks, region scan latency, truth-spill bytes,
-// pipeline throughput — the obs.Default registry) to stderr every D
+// pipeline throughput, storage-tier activity — WAL records/fsyncs,
+// flushes, compactions — the obs.Default registry) to stderr every D
 // while the scenario runs, plus once at the end — the headless
-// campaign's progress view.
+// campaign's progress view. -trace-every D additionally renders every
+// newly captured slow-op trace (tier flushes, compactions, pipeline
+// batches slower than their own p99) as a flame-line block.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 
 	"tagsim"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/trace"
 )
@@ -50,6 +54,7 @@ func main() {
 	reportLog := flag.Bool("reportlog", false, "stream accepted cloud reports to DIR/reports.col (columnar) during the wild run")
 	truthLog := flag.Bool("truthlog", false, "stream ground-truth GPS fixes to DIR/truth.col (columnar) during the wild run")
 	metricsEvery := flag.Duration("metrics-every", 0, "log the process metrics snapshot to stderr at this period (0 disables)")
+	traceEvery := flag.Duration("trace-every", 0, "render newly captured slow-op traces to stderr as flame lines at this period (0 disables)")
 	out := flag.String("out", "traces", "output directory")
 	flag.Parse()
 
@@ -58,6 +63,10 @@ func main() {
 	}
 	if *metricsEvery > 0 {
 		stop := startMetricsLogger(*metricsEvery)
+		defer stop()
+	}
+	if *traceEvery > 0 {
+		stop := startTraceLogger(*traceEvery)
 		defer stop()
 	}
 	switch *scenarioName {
@@ -88,6 +97,47 @@ func startMetricsLogger(every time.Duration) (stop func()) {
 				log.Printf("metrics: %s", obs.Default.Compact())
 			case <-done:
 				log.Printf("metrics (final): %s", obs.Default.Compact())
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+	}
+}
+
+// startTraceLogger renders every slow-op trace newly captured since
+// the previous tick as a compact flame-line block on stderr — the
+// headless campaign's answer to tagserve's /debug/traces. Capture IDs
+// are monotonically assigned, so "new since last tick" is one
+// high-water mark; ticks render oldest-first so the log reads in
+// capture order.
+func startTraceLogger(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	var seen uint64
+	dump := func() {
+		caps := otrace.DefaultRing.Snapshot(0) // newest first
+		for i := len(caps) - 1; i >= 0; i-- {
+			c := caps[i]
+			if c.ID <= seen {
+				continue
+			}
+			seen = c.ID
+			log.Printf("trace captured:\n%s", c.Flame())
+		}
+	}
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				dump()
+			case <-done:
+				dump()
 				return
 			}
 		}

@@ -24,6 +24,7 @@ import (
 
 	"tagsim/internal/geo"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
@@ -165,18 +166,26 @@ func (c *HotCache) knownDirect(tagID string) bool {
 // it is present and still valid under the current epoch, and that epoch
 // (read before any state, so a fill stored under it can never be
 // fresher than it claims).
-func (c *HotCache) probe(tagID string) (slot *atomic.Pointer[hotEntry], e *hotEntry, epoch uint64) {
+// The probe outcome lands on the request trace as an untimed event —
+// cache hits are the ~600ns fast path and cannot afford clock reads —
+// with the slot index as A1 and, on a miss, whether it was an epoch
+// invalidation (A2=1) rather than a collision or cold slot.
+func (c *HotCache) probe(tagID string, tr *otrace.Trace) (slot *atomic.Pointer[hotEntry], e *hotEntry, epoch uint64) {
 	h := store.TagHash(tagID)
 	slot = &c.slots[h&c.mask]
 	epoch = c.epochAt(h)
 	if e = slot.Load(); e != nil && e.tag == tagID && e.epoch == epoch {
 		c.hits.Inc()
+		tr.Event(otrace.PlaneCache, "cache.hit", int64(h&c.mask), 0)
 		return slot, e, epoch
 	}
+	var inval int64
 	if e != nil && e.tag == tagID {
 		c.invalidations.Inc()
+		inval = 1
 	}
 	c.misses.Inc()
+	tr.Event(otrace.PlaneCache, "cache.miss", int64(h&c.mask), inval)
 	return slot, nil, epoch
 }
 
@@ -187,6 +196,13 @@ func (c *HotCache) probe(tagID string) (slot *atomic.Pointer[hotEntry], e *hotEn
 // match, so a cached answer is never staler than the epoch it was
 // published under.
 func (c *HotCache) LastSeen(tagID string) (pos geo.LatLon, at time.Time, found, known bool) {
+	return c.LastSeenTraced(tagID, nil)
+}
+
+// LastSeenTraced is LastSeen recording onto a request trace (nil tr
+// traces nothing): the probe outcome as an event, and a miss's fill as
+// a timed cache.fill.lastseen span.
+func (c *HotCache) LastSeenTraced(tagID string, tr *otrace.Trace) (pos geo.LatLon, at time.Time, found, known bool) {
 	if hotCacheDisabled.Load() {
 		if !c.knownDirect(tagID) {
 			return pos, at, false, false
@@ -194,14 +210,16 @@ func (c *HotCache) LastSeen(tagID string) (pos geo.LatLon, at time.Time, found, 
 		pos, at, found = c.combined.LastSeen(tagID)
 		return pos, at, found, true
 	}
-	slot, e, epoch := c.probe(tagID)
+	slot, e, epoch := c.probe(tagID, tr)
 	if e == nil {
+		sp := tr.Start(otrace.PlaneCache, "cache.fill.lastseen", 0, 0)
 		e = &hotEntry{tag: tagID, epoch: epoch, known: c.knownDirect(tagID)}
 		if e.known {
 			e.pos, e.at, e.found = c.combined.LastSeen(tagID)
 		}
 		slot.Store(e)
 		c.fills.Inc()
+		tr.Finish(sp)
 	}
 	return e.pos, e.at, e.found, e.known
 }
@@ -212,14 +230,22 @@ func (c *HotCache) LastSeen(tagID string) (pos geo.LatLon, at time.Time, found, 
 // last-known fix, so a hot tag's /v1/lastknown and /v1/track share one
 // entry.
 func (c *HotCache) Track(tagID string) (track []trace.Report, known bool) {
+	return c.TrackTraced(tagID, nil)
+}
+
+// TrackTraced is Track recording onto a request trace (nil tr traces
+// nothing). The fill span's A1 is the merged track length; the merge
+// itself threads tr down into each store's read path.
+func (c *HotCache) TrackTraced(tagID string, tr *otrace.Trace) (track []trace.Report, known bool) {
 	if hotCacheDisabled.Load() {
 		if !c.knownDirect(tagID) {
 			return nil, false
 		}
-		return c.combined.MergedHistory(tagID), true
+		return c.combined.MergedHistoryTraced(tagID, tr), true
 	}
-	slot, e, epoch := c.probe(tagID)
+	slot, e, epoch := c.probe(tagID, tr)
 	if e == nil || !e.hasTrack {
+		sp := tr.Start(otrace.PlaneCache, "cache.fill.track", 0, 0)
 		ne := &hotEntry{tag: tagID, epoch: epoch, hasTrack: true}
 		if e != nil { // valid fill: keep what it has, add the track
 			ne.known, ne.found, ne.pos, ne.at = e.known, e.found, e.pos, e.at
@@ -228,10 +254,12 @@ func (c *HotCache) Track(tagID string) (track []trace.Report, known bool) {
 			ne.pos, ne.at, ne.found = c.combined.LastSeen(tagID)
 		}
 		if ne.known {
-			ne.track = c.combined.MergedHistory(tagID)
+			ne.track = c.combined.MergedHistoryTraced(tagID, tr)
 		}
 		slot.Store(ne)
 		c.fills.Inc()
+		tr.SetAttrs(sp, int64(len(ne.track)), 0)
+		tr.Finish(sp)
 		e = ne
 	}
 	return e.track, e.known
@@ -242,14 +270,25 @@ func (c *HotCache) Track(tagID string) (track []trace.Report, known bool) {
 // window is cached per entry, keyed by its limit; the returned slice is
 // shared with later hits and must not be mutated.
 func (c *HotCache) HistoryTail(tagID string, limit int) (hist []trace.Report, known bool) {
+	return c.HistoryTailTraced(tagID, limit, nil)
+}
+
+// HistoryTailTraced is HistoryTail recording onto a request trace (nil
+// tr traces nothing). The fill span carries the requested limit (A1)
+// and the rows returned (A2); the tail merge threads tr down into each
+// store's memtable view and segment reads — the path a cold-history
+// capture shows as cache.miss → cache.fill.history → store.memtable →
+// store.pread/store.decode.
+func (c *HotCache) HistoryTailTraced(tagID string, limit int, tr *otrace.Trace) (hist []trace.Report, known bool) {
 	if hotCacheDisabled.Load() {
 		if !c.knownDirect(tagID) {
 			return nil, false
 		}
-		return c.combined.MergedHistoryTail(tagID, limit), true
+		return c.combined.MergedHistoryTailTraced(tagID, limit, tr), true
 	}
-	slot, e, epoch := c.probe(tagID)
+	slot, e, epoch := c.probe(tagID, tr)
 	if e == nil || !e.hasHist || e.histLimit != limit {
+		sp := tr.Start(otrace.PlaneCache, "cache.fill.history", int64(limit), 0)
 		ne := &hotEntry{tag: tagID, epoch: epoch, hasHist: true, histLimit: limit}
 		if e != nil { // valid fill: keep what it has, add the window
 			ne.known, ne.found, ne.pos, ne.at = e.known, e.found, e.pos, e.at
@@ -258,10 +297,12 @@ func (c *HotCache) HistoryTail(tagID string, limit int) (hist []trace.Report, kn
 			ne.pos, ne.at, ne.found = c.combined.LastSeen(tagID)
 		}
 		if ne.known {
-			ne.hist = c.combined.MergedHistoryTail(tagID, limit)
+			ne.hist = c.combined.MergedHistoryTailTraced(tagID, limit, tr)
 		}
 		slot.Store(ne)
 		c.fills.Inc()
+		tr.SetAttrs(sp, int64(limit), int64(len(ne.hist)))
+		tr.Finish(sp)
 		e = ne
 	}
 	return e.hist, e.known
@@ -272,7 +313,7 @@ func (c *HotCache) HistoryTail(tagID string, limit int) (hist []trace.Report, kn
 // filling — pure existence checks shouldn't evict a hot fill).
 func (c *HotCache) Known(tagID string) bool {
 	if !hotCacheDisabled.Load() {
-		if _, e, _ := c.probe(tagID); e != nil {
+		if _, e, _ := c.probe(tagID, nil); e != nil {
 			return e.known
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"tagsim/internal/geo"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
@@ -132,9 +133,15 @@ func (c Combined) LastSeen(tagID string) (pos geo.LatLon, at time.Time, ok bool)
 // MergedHistory returns all accepted reports for a tag across services,
 // sorted by acceptance time.
 func (c Combined) MergedHistory(tagID string) []trace.Report {
+	return c.MergedHistoryTraced(tagID, nil)
+}
+
+// MergedHistoryTraced is MergedHistory threading a request trace down
+// into each store's history read (nil tr traces nothing).
+func (c Combined) MergedHistoryTraced(tagID string, tr *otrace.Trace) []trace.Report {
 	var out []trace.Report
 	for _, s := range c {
-		out = append(out, s.History(tagID)...)
+		out = append(out, s.RecentHistoryTraced(tagID, -1, tr)...)
 	}
 	trace.SortByTime(out)
 	return out
@@ -151,8 +158,15 @@ func (c Combined) MergedHistory(tagID string) []trace.Report {
 // serves, limit 0 distinguishes "some history exists" (empty non-nil)
 // from none at all (nil).
 func (c Combined) MergedHistoryTail(tagID string, limit int) []trace.Report {
+	return c.MergedHistoryTailTraced(tagID, limit, nil)
+}
+
+// MergedHistoryTailTraced is MergedHistoryTail threading a request
+// trace down into each store's merge and segment reads (nil tr traces
+// nothing).
+func (c Combined) MergedHistoryTailTraced(tagID string, limit int, tr *otrace.Trace) []trace.Report {
 	if limit < 0 {
-		return c.MergedHistory(tagID)
+		return c.MergedHistoryTraced(tagID, tr)
 	}
 	if limit == 0 {
 		for _, s := range c {
@@ -170,7 +184,7 @@ func (c Combined) MergedHistoryTail(tagID string, limit int) []trace.Report {
 	var out []trace.Report
 	merged := false
 	for _, s := range c {
-		r := s.RecentHistory(tagID, limit)
+		r := s.RecentHistoryTraced(tagID, limit, tr)
 		if len(r) == 0 {
 			continue
 		}

@@ -42,6 +42,7 @@ import (
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/stats"
 	"tagsim/internal/trace"
 )
@@ -195,6 +196,15 @@ type Target interface {
 	Do(op Op, tagID string) (reports int, err error)
 }
 
+// tracedTarget is the optional request-tracing extension of Target:
+// the harness roots one span per request (reusing the timestamps it
+// already takes for the latency histogram) and hands the trace down so
+// the target's cache/store layers can attach their spans. Detected by
+// type assertion once per run, so plain Targets pay nothing.
+type tracedTarget interface {
+	DoTraced(op Op, tagID string, tr *otrace.Trace) (reports int, err error)
+}
+
 // Result is one load run's report.
 type Result struct {
 	Requests int
@@ -339,6 +349,16 @@ func Run(cfg Config, target Target) (*Result, error) {
 			}
 		}
 	}
+	// Request tracing rides the same decision the serve plane makes:
+	// when the target supports it and tracing is on, every request gets
+	// a root span whose timestamps are the latency measurement's own
+	// (no extra clock reads), captured against the run histogram's live
+	// p99. Each worker reuses one pooled trace across its whole plan.
+	traced, _ := target.(tracedTarget)
+	var th *otrace.Threshold
+	if traced != nil && otrace.Enabled() {
+		th = otrace.NewThreshold(otrace.PlaneServe, cfg.Latency, -1)
+	}
 	var wg sync.WaitGroup
 	begin := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
@@ -350,6 +370,11 @@ func Run(cfg Config, target Target) (*Result, error) {
 			out.latencies = make([]float64, 0, len(p.ops))
 			if cfg.OpenLoop {
 				out.waits = make([]float64, 0, len(p.ops))
+			}
+			var wtr *otrace.Trace
+			if th != nil {
+				wtr = otrace.Get()
+				defer otrace.Put(wtr)
 			}
 			for i, op := range p.ops {
 				tag := cfg.Tags[p.tags[i]]
@@ -365,10 +390,20 @@ func Run(cfg Config, target Target) (*Result, error) {
 					out.waits = append(out.waits, float64(wait)/float64(time.Millisecond))
 				}
 				t := time.Now()
-				reports, err := target.Do(op, tag)
+				var reports int
+				var err error
+				if wtr != nil {
+					wtr.Root(otrace.PlaneServe, op.String(), t)
+					reports, err = traced.DoTraced(op, tag, wtr)
+				} else {
+					reports, err = target.Do(op, tag)
+				}
 				lat := time.Since(t)
 				if cfg.Latency != nil {
 					cfg.Latency.Observe(lat)
+				}
+				if wtr != nil {
+					wtr.FinishRoot(lat, th)
 				}
 				out.latencies = append(out.latencies, float64(lat)/float64(time.Millisecond))
 				out.perOp[op]++
@@ -488,6 +523,13 @@ func (t *ServiceTarget) known(tagID string) bool {
 
 // Do implements Target against the in-process stores.
 func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
+	return t.DoTraced(op, tagID, nil)
+}
+
+// DoTraced implements tracedTarget: the same dispatch as Do with the
+// request trace threaded into the cache and store layers (nil tr
+// traces nothing).
+func (t *ServiceTarget) DoTraced(op Op, tagID string, tr *otrace.Trace) (int, error) {
 	switch op {
 	case OpStats:
 		for _, svc := range t.svcs {
@@ -496,7 +538,13 @@ func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
 		return 0, nil
 	case OpReport:
 		rep := t.writes.next(tagID)
-		if t.services[rep.Vendor].Ingest(rep) {
+		sp := tr.Start(otrace.PlaneStore, "store.ingest", 0, 0)
+		accepted := t.services[rep.Vendor].Ingest(rep)
+		if accepted {
+			tr.SetAttrs(sp, 1, 0)
+		}
+		tr.Finish(sp)
+		if accepted {
 			return 1, nil
 		}
 		return 0, nil // rate-capped, not an error
@@ -504,7 +552,7 @@ func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
 	switch op {
 	case OpLastKnown:
 		if t.cache != nil {
-			_, _, found, known := t.cache.LastSeen(tagID)
+			_, _, found, known := t.cache.LastSeenTraced(tagID, tr)
 			if !known {
 				return 0, fmt.Errorf("load: unknown tag %q", tagID)
 			}
@@ -522,7 +570,7 @@ func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
 		return 0, nil
 	case OpHistory:
 		if t.cache != nil {
-			hist, known := t.cache.HistoryTail(tagID, HistoryCap)
+			hist, known := t.cache.HistoryTailTraced(tagID, HistoryCap, tr)
 			if !known {
 				return 0, fmt.Errorf("load: unknown tag %q", tagID)
 			}
@@ -531,10 +579,10 @@ func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
 		if !t.known(tagID) {
 			return 0, fmt.Errorf("load: unknown tag %q", tagID)
 		}
-		return len(t.combined.MergedHistoryTail(tagID, HistoryCap)), nil
+		return len(t.combined.MergedHistoryTailTraced(tagID, HistoryCap, tr)), nil
 	case OpTrack:
 		if t.cache != nil {
-			track, known := t.cache.Track(tagID)
+			track, known := t.cache.TrackTraced(tagID, tr)
 			if !known {
 				return 0, fmt.Errorf("load: unknown tag %q", tagID)
 			}
@@ -543,7 +591,7 @@ func (t *ServiceTarget) Do(op Op, tagID string) (int, error) {
 		if !t.known(tagID) {
 			return 0, fmt.Errorf("load: unknown tag %q", tagID)
 		}
-		return len(t.combined.MergedHistory(tagID)), nil
+		return len(t.combined.MergedHistoryTraced(tagID, tr)), nil
 	default:
 		return 0, fmt.Errorf("load: unknown op %v", op)
 	}

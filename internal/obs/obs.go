@@ -107,6 +107,21 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64 // nanoseconds
 	buckets [HistBuckets]atomic.Uint64
+	// exemplars, allocated on first SetExemplar, holds per bucket the
+	// last captured trace that landed in it. Observe never touches it —
+	// only the tracer's capture path (which already decided the request
+	// was tail-worthy) pays the stores.
+	exemplars atomic.Pointer[[HistBuckets]exemplar]
+}
+
+// exemplar is one bucket's last captured trace: the ID every trace
+// surface formats, plus the observed duration the Prometheus exemplar
+// syntax wants as its value. The two fields are independently atomic;
+// a concurrent overwrite can pair an ID with the other capture's
+// duration, but both are then valid exemplars of the same bucket.
+type exemplar struct {
+	id atomic.Uint64
+	ns atomic.Int64
 }
 
 // bucketOf maps a nanosecond value onto its bucket index.
@@ -149,6 +164,26 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketOf(ns)].Add(1)
 }
 
+// SetExemplar links trace id as the exemplar of the bucket duration d
+// lands in. The tracer calls it at capture time, so /metrics tail
+// buckets point at concrete traces on /debug/traces.
+func (h *Histogram) SetExemplar(d time.Duration, id uint64) {
+	ex := h.exemplars.Load()
+	if ex == nil {
+		ex = new([HistBuckets]exemplar)
+		if !h.exemplars.CompareAndSwap(nil, ex) {
+			ex = h.exemplars.Load()
+		}
+	}
+	ns := int64(0)
+	if d > 0 {
+		ns = int64(d)
+	}
+	e := &ex[bucketOf(uint64(ns))]
+	e.id.Store(id)
+	e.ns.Store(ns)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
@@ -163,6 +198,16 @@ type HistogramSnapshot struct {
 	Count   uint64
 	SumNs   uint64
 	Buckets [HistBuckets]uint64
+	// Exemplars is nil until the histogram's first SetExemplar; then
+	// Exemplars[i] names the last captured trace in bucket i (ID 0 =
+	// none yet).
+	Exemplars *[HistBuckets]Exemplar
+}
+
+// Exemplar is a snapshot of one bucket's exemplar.
+type Exemplar struct {
+	ID uint64
+	Ns int64
 }
 
 // Snapshot copies the histogram's current state.
@@ -173,6 +218,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		c := h.buckets[i].Load()
 		s.Buckets[i] = c
 		s.Count += c
+	}
+	if ex := h.exemplars.Load(); ex != nil {
+		out := new([HistBuckets]Exemplar)
+		for i := range ex {
+			out[i] = Exemplar{ID: ex[i].id.Load(), Ns: ex[i].ns.Load()}
+		}
+		s.Exemplars = out
 	}
 	return s
 }

@@ -264,12 +264,44 @@ func TestPrometheusRender(t *testing.T) {
 		"epoch_total 9",
 		"# TYPE latency_seconds histogram",
 		`latency_seconds_bucket{endpoint="track",le="5.12e-07"} 1`,
+		// Interior empty buckets between the two samples must still be
+		// emitted (cumulatively), so the le-series set a scraper stores
+		// never loses a boundary once a later sample makes it interior.
+		`latency_seconds_bucket{endpoint="track",le="1.024e-06"} 1`,
+		`latency_seconds_bucket{endpoint="track",le="6.5536e-05"} 1`,
+		`latency_seconds_bucket{endpoint="track",le="0.000131072"} 2`,
 		`latency_seconds_bucket{endpoint="track",le="+Inf"} 2`,
 		`latency_seconds_count{endpoint="track"} 2`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("prometheus render missing %q in:\n%s", want, out)
 		}
+	}
+	// The all-empty tail past the last sample is still elided.
+	if strings.Contains(out, `le="0.000262144"`) {
+		t.Errorf("prometheus render emits empty tail buckets:\n%s", out)
+	}
+}
+
+// TestPrometheusExemplars pins the OpenMetrics-style exemplar suffix:
+// a histogram bucket that a captured trace landed in carries the trace
+// ID, and buckets without exemplars stay plain.
+func TestPrometheusExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds")
+	h.Observe(300 * time.Nanosecond)
+	h.Observe(100 * time.Microsecond)
+	h.SetExemplar(100*time.Microsecond, 0xbeef)
+
+	var buf bytes.Buffer
+	WritePrometheus(&buf, r)
+	out := buf.String()
+	want := `latency_seconds_bucket{le="0.000131072"} 2 # {trace_id="000000000000beef"} 0.0001`
+	if !strings.Contains(out, want) {
+		t.Errorf("prometheus render missing exemplar line %q in:\n%s", want, out)
+	}
+	if strings.Contains(out, `le="5.12e-07"} 1 #`) {
+		t.Errorf("exemplar leaked onto a bucket without one:\n%s", out)
 	}
 }
 

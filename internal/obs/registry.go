@@ -228,15 +228,28 @@ func WritePrometheus(w io.Writer, regs ...*Registry) {
 					strconv.FormatFloat(s.gaugeFn(), 'g', -1, 64))
 			case kindHistogram:
 				snap := s.hist.Snapshot()
-				var cum uint64
+				// Emit every boundary up to the last non-empty bucket —
+				// including interior empty ones, so the le-series set a
+				// scraper stores is cumulative and stable across scrapes
+				// (a bucket once emitted never disappears) — then elide
+				// the all-empty tail down to +Inf.
+				last := -1
 				for i, c := range snap.Buckets {
-					cum += c
-					// Elide empty tail resolution: only emit boundaries
-					// up to the last non-empty bucket, then +Inf.
-					if c == 0 {
-						continue
+					if c > 0 {
+						last = i
 					}
-					fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, histLabels(s.labels, seconds(BucketUpper(i))), cum)
+				}
+				var cum uint64
+				for i := 0; i <= last; i++ {
+					cum += snap.Buckets[i]
+					fmt.Fprintf(w, "%s_bucket%s %d", s.name, histLabels(s.labels, seconds(BucketUpper(i))), cum)
+					// OpenMetrics-style exemplar: the last captured trace
+					// that landed in this bucket, linking the tail bucket
+					// to /debug/traces.
+					if ex := snap.Exemplars; ex != nil && ex[i].ID != 0 {
+						fmt.Fprintf(w, " # {trace_id=\"%016x\"} %s", ex[i].ID, seconds(float64(ex[i].Ns)))
+					}
+					io.WriteString(w, "\n")
 				}
 				fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, histLabels(s.labels, "+Inf"), snap.Count)
 				fmt.Fprintf(w, "%s_sum%s %s\n", s.name, s.labels, seconds(float64(snap.SumNs)))

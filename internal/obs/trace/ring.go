@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Captured is an immutable copy of a trace that cleared its capture
+// threshold. Pointers to it are published once into ring slots and
+// never mutated, so readers can hold one across any number of
+// subsequent captures.
+type Captured struct {
+	ID      uint64
+	Wall    time.Time // root start (wall clock)
+	Dropped int       // spans lost to MaxSpans
+	Spans   []Span    // Spans[0] is the root
+}
+
+// Root returns the root span, nil for an empty capture.
+func (c *Captured) Root() *Span {
+	if len(c.Spans) == 0 {
+		return nil
+	}
+	return &c.Spans[0]
+}
+
+// Duration returns the root span's duration.
+func (c *Captured) Duration() time.Duration { return time.Duration(c.Spans[0].End) }
+
+// Ring is the lock-free slow-op capture ring: a power-of-two array of
+// atomically published pointers to immutable Captured traces, in the
+// single-writer-per-slot style of cloud.HotCache. A writer reserves a
+// slot with one cursor fetch-add and publishes with one pointer store;
+// readers load slots without coordination. Memory is bounded at the
+// slot count — a new capture simply unlinks the trace it laps.
+type Ring struct {
+	mask   uint64
+	cursor atomic.Uint64
+	slots  []atomic.Pointer[Captured]
+}
+
+// DefaultRingSize is DefaultRing's capacity.
+const DefaultRingSize = 256
+
+// DefaultRing receives every capture; /debug/traces and tagsim's
+// -trace-every logger read it.
+var DefaultRing = NewRing(DefaultRingSize)
+
+// NewRing builds a ring holding the next power of two >= size traces.
+func NewRing(size int) *Ring {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]atomic.Pointer[Captured], n)}
+}
+
+// Captures returns the number of traces captured over the ring's
+// lifetime (not the number currently held).
+func (r *Ring) Captures() uint64 { return r.cursor.Load() }
+
+// Cap returns the ring's slot count.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+func (r *Ring) put(c *Captured) {
+	i := r.cursor.Add(1) - 1
+	r.slots[i&r.mask].Store(c)
+}
+
+// Snapshot returns up to limit captured traces, newest first (by
+// capture ID — slot order alone could be momentarily inverted by two
+// in-flight writers). limit <= 0 means the whole ring.
+func (r *Ring) Snapshot(limit int) []*Captured {
+	n := len(r.slots)
+	if limit <= 0 || limit > n {
+		limit = n
+	}
+	cur := r.cursor.Load()
+	out := make([]*Captured, 0, limit)
+	for k := 0; k < n && len(out) < limit; k++ {
+		if c := r.slots[(cur-1-uint64(k))&r.mask].Load(); c != nil {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// CapturedJSON is the /debug/traces wire shape of one captured trace.
+type CapturedJSON struct {
+	ID         string     `json:"id"`
+	Start      time.Time  `json:"start"`
+	Plane      string     `json:"plane"`
+	Op         string     `json:"op"`
+	DurationNs int64      `json:"duration_ns"`
+	Dropped    int        `json:"dropped_spans,omitempty"`
+	Spans      []SpanJSON `json:"spans"`
+}
+
+// SpanJSON is one span on the wire. Offsets are nanoseconds from the
+// trace start; -1 marks an untimed event span.
+type SpanJSON struct {
+	Op      string `json:"op"`
+	Plane   string `json:"plane"`
+	Parent  int    `json:"parent"`
+	StartNs int64  `json:"start_ns"`
+	EndNs   int64  `json:"end_ns"`
+	A1      int64  `json:"a1,omitempty"`
+	A2      int64  `json:"a2,omitempty"`
+}
+
+// JSON converts a captured trace to its wire shape.
+func (c *Captured) JSON() CapturedJSON {
+	root := c.Root()
+	out := CapturedJSON{
+		ID:         FormatID(c.ID),
+		Start:      c.Wall,
+		Plane:      root.Plane.String(),
+		Op:         root.Op,
+		DurationNs: root.End,
+		Dropped:    c.Dropped,
+		Spans:      make([]SpanJSON, len(c.Spans)),
+	}
+	for i := range c.Spans {
+		s := &c.Spans[i]
+		out.Spans[i] = SpanJSON{
+			Op: s.Op, Plane: s.Plane.String(), Parent: int(s.Parent),
+			StartNs: s.Start, EndNs: s.End, A1: s.A1, A2: s.A2,
+		}
+	}
+	return out
+}
+
+// Flame renders a captured trace as compact flame-line text — one line
+// per span, indented by nesting depth, with the span's offset into the
+// trace, its duration (· for untimed events), and any attributes:
+//
+//	trace 000000000000002a 1.82ms serve.history
+//	  +8µs     ·       cache.miss [a1=2887864]
+//	  +11µs    1.79ms  cache.fill.history [a1=2887864 a2=192]
+//	    +14µs    41µs    store.memtable [a1=64 a2=128]
+//	    +60µs    1.71ms  store.pread [a1=1 a2=128]
+func (c *Captured) Flame() string {
+	var b strings.Builder
+	root := c.Root()
+	fmt.Fprintf(&b, "trace %s %s %s", FormatID(c.ID), fmtNs(root.End), flameName(root))
+	if root.A1 != 0 || root.A2 != 0 {
+		fmt.Fprintf(&b, " [a1=%d a2=%d]", root.A1, root.A2)
+	}
+	for i := 1; i < len(c.Spans); i++ {
+		s := &c.Spans[i]
+		b.WriteByte('\n')
+		for d := c.depth(i); d > 0; d-- {
+			b.WriteString("  ")
+		}
+		if s.Start >= 0 {
+			dur := "…"
+			if s.End >= 0 {
+				dur = fmtNs(s.End - s.Start)
+			}
+			fmt.Fprintf(&b, "+%-8s %-7s %s", fmtNs(s.Start), dur, flameName(s))
+		} else {
+			fmt.Fprintf(&b, "+?        ·       %s", flameName(s))
+		}
+		if s.A1 != 0 || s.A2 != 0 {
+			fmt.Fprintf(&b, " [a1=%d a2=%d]", s.A1, s.A2)
+		}
+	}
+	if c.Dropped > 0 {
+		fmt.Fprintf(&b, "\n  (%d spans dropped)", c.Dropped)
+	}
+	return b.String()
+}
+
+// flameName qualifies an op with its plane, except where the op's own
+// prefix already names it (store.pread stays store.pread, not
+// store.store.pread).
+func flameName(s *Span) string {
+	plane := s.Plane.String()
+	if strings.HasPrefix(s.Op, plane+".") {
+		return s.Op
+	}
+	return plane + "." + s.Op
+}
+
+// depth counts parent hops from span i to the root.
+func (c *Captured) depth(i int) int {
+	d := 0
+	for p := c.Spans[i].Parent; p > 0 && d < len(c.Spans); p = c.Spans[p].Parent {
+		d++
+	}
+	return d + 1 // children of the root render at depth 1
+}
+
+// fmtNs renders a nanosecond quantity at µs-and-up granularity — flame
+// lines compare layers, they don't time instructions.
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%dµs", d/time.Microsecond)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}

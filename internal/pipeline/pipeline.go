@@ -34,8 +34,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/trace"
 )
 
@@ -155,14 +157,22 @@ type Pipeline struct {
 type consumerRunner struct {
 	c        Consumer
 	name     string
+	op       string // "pipeline.consume.<name>", precomputed off the hot loop
 	ch       chan Batch
 	done     chan struct{}
 	err      error
 	sent     atomic.Uint64
 	consumed atomic.Uint64
 	records  atomic.Uint64
+	hist     *obs.Histogram
+	th       *otrace.Threshold
 }
 
+// run is the consumer's batch loop. Each batch is one self-rooted
+// trace on the pipeline plane (the runner goroutine has no request to
+// attach to) carrying the batch's record count and the consumer's
+// batch lag behind the merge as attributes — so a captured slow batch
+// shows whether the consumer was already drowning when it started.
 func (r *consumerRunner) run() {
 	defer close(r.done)
 	for b := range r.ch {
@@ -170,9 +180,19 @@ func (r *consumerRunner) run() {
 			r.consumed.Add(1)
 			continue // drain so the merge never blocks on a failed consumer
 		}
+		var t0 time.Time
+		if obs.Enabled() {
+			t0 = time.Now()
+		}
+		tr := otrace.Begin(otrace.PlanePipeline, r.op)
+		tr.SetAttrs(0, int64(b.Len()), int64(r.sent.Load()-r.consumed.Load()))
 		r.err = r.c.Consume(b)
 		r.consumed.Add(1)
 		r.records.Add(uint64(b.Len()))
+		// Capture before this batch's own sample feeds the histogram —
+		// a new-max batch must clear the p99 of the batches before it.
+		tr.End(r.th)
+		obs.Since(r.hist, t0)
 	}
 	if cerr := r.c.Close(); r.err == nil {
 		r.err = cerr
@@ -197,7 +217,10 @@ func New(worlds int, cfg Config, consumers ...Consumer) *Pipeline {
 		if n, ok := c.(interface{ Name() string }); ok {
 			name = n.Name()
 		}
-		r := &consumerRunner{c: c, name: name, ch: make(chan Batch, cfg.ConsumerBuffer), done: make(chan struct{})}
+		r := &consumerRunner{c: c, name: name, op: "pipeline.consume." + name,
+			ch: make(chan Batch, cfg.ConsumerBuffer), done: make(chan struct{})}
+		r.hist = obs.Default.Histogram("pipeline_consume_seconds", obs.L("consumer", name))
+		r.th = otrace.NewThreshold(otrace.PlanePipeline, r.hist, 0)
 		p.runners = append(p.runners, r)
 		go r.run()
 	}

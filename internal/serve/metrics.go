@@ -14,6 +14,7 @@ import (
 
 	"tagsim/internal/cloud"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 )
 
 // endpointMetrics is one endpoint's instrumentation, resolved once at
@@ -23,15 +24,28 @@ type endpointMetrics struct {
 	codes   [6]*obs.Counter // indexed by status/100 ("2xx" is codes[2])
 }
 
-// statusRecorder captures the handler's status code. Pooled; only the
-// methods the handlers use are forwarded.
+// statusRecorder captures the handler's status code and, when the
+// request carries a trace, decides the X-Tag-Trace header at the
+// moment the response headers flush. Pooled; only the methods the
+// handlers use are forwarded.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	tr     *otrace.Trace
+	th     *otrace.Threshold
+	t0     time.Time
 }
 
+// WriteHeader is the last instant a header can be added, so the
+// captured-trace advertisement is decided here with the elapsed time
+// measured so far. A request whose slowness comes after the headers
+// flush (streaming a huge history body) is still captured to the ring
+// at FinishRoot time — it just isn't advertised on this response.
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	if r.tr != nil && r.th.Exceeded(time.Since(r.t0)) {
+		r.ResponseWriter.Header().Set("X-Tag-Trace", otrace.FormatID(r.tr.EnsureID()))
+	}
 	r.ResponseWriter.WriteHeader(code)
 }
 
@@ -39,8 +53,12 @@ var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
 // handle registers an instrumented endpoint: a serve_latency_seconds
 // histogram and serve_requests_total counters by status class, both
-// labeled by endpoint. With metrics disabled the wrapper is one atomic
-// flag load — no clock reads, no recorder.
+// labeled by endpoint, plus a per-request root span propagated to the
+// handler through the request context. With metrics and tracing both
+// disabled the wrapper is two atomic flag loads — no clock reads, no
+// recorder. When either is on, one time.Now feeds both: the root span
+// borrows the latency measurement's timestamps, so tracing adds no
+// clock reads of its own on this path.
 func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	m := &endpointMetrics{
 		latency: s.reg.Histogram("serve_latency_seconds", obs.L("endpoint", endpoint)),
@@ -49,18 +67,39 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		m.codes[c] = s.reg.Counter("serve_requests_total",
 			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(c)+"xx"))
 	}
+	// The capture bar for this endpoint: its own live p99 (from the
+	// same histogram the latency wrapper feeds), floored at the default
+	// so a cold histogram doesn't capture bulk traffic.
+	th := otrace.NewThreshold(otrace.PlaneServe, m.latency, -1)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		if !obs.Enabled() {
+		mt, tt := obs.Enabled(), otrace.Enabled()
+		if !mt && !tt {
 			h(w, r)
 			return
 		}
 		rec := recorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status = w, http.StatusOK
 		t0 := time.Now()
+		if tt {
+			rec.tr, rec.th, rec.t0 = otrace.Get(), th, t0
+			rec.tr.Root(otrace.PlaneServe, endpoint, t0)
+			r = r.WithContext(otrace.NewContext(r.Context(), rec.tr))
+		}
 		h(rec, r)
-		m.latency.Observe(time.Since(t0))
-		if c := rec.status / 100; c >= 2 && c <= 5 {
-			m.codes[c].Inc()
+		elapsed := time.Since(t0)
+		// Capture is decided before this request's own sample feeds the
+		// histogram: a new-max request must clear the p99 of the workload
+		// so far, not a bar its own bucket just dragged up.
+		if rec.tr != nil {
+			rec.tr.FinishRoot(elapsed, th)
+			otrace.Put(rec.tr)
+			rec.tr, rec.th = nil, nil
+		}
+		if mt {
+			m.latency.Observe(elapsed)
+			if c := rec.status / 100; c >= 2 && c <= 5 {
+				m.codes[c].Inc()
+			}
 		}
 		rec.ResponseWriter = nil
 		recorderPool.Put(rec)

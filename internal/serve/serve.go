@@ -36,6 +36,7 @@ import (
 	"tagsim/internal/cloud"
 	"tagsim/internal/geo"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/store"
 	"tagsim/internal/trace"
 )
@@ -79,6 +80,7 @@ func NewServer(services map[trace.Vendor]*cloud.Service) *Server {
 	s.handle("POST /v1/report", "report", s.handleReport)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/vars", s.handleVars)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.registerCollectors()
 	return s
 }
@@ -337,7 +339,7 @@ func (s *Server) handleLastKnown(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if svc == nil { // combined view: one cache probe answers known + fix
-		pos, at, found, known := s.cache.LastSeen(tag)
+		pos, at, found, known := s.cache.LastSeenTraced(tag, otrace.FromContext(r.Context()))
 		if !known {
 			writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
 			return
@@ -375,10 +377,11 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	// whole history and slicing it. The combined view is served through
 	// the hot-tag cache — the history pane asks for the same window
 	// every time, so a hot tag's window is one fill per epoch.
+	tr := otrace.FromContext(r.Context())
 	var reports []trace.Report
 	if svc == nil {
 		var known bool
-		if reports, known = s.cache.HistoryTail(tag, limit); !known {
+		if reports, known = s.cache.HistoryTailTraced(tag, limit, tr); !known {
 			writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
 			return
 		}
@@ -386,7 +389,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		if !s.knownTag(w, tag) {
 			return
 		}
-		reports = svc.RecentHistory(tag, limit)
+		reports = svc.RecentHistoryTraced(tag, limit, tr)
 	}
 	writeJSON(w, http.StatusOK, HistoryResponse{TagID: tag, Vendor: label, Reports: reports})
 }
@@ -401,7 +404,8 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	merged, known := s.cache.Track(tag)
+	tr := otrace.FromContext(r.Context())
+	merged, known := s.cache.TrackTraced(tag, tr)
 	if !known {
 		writeErr(w, http.StatusNotFound, "unknown tag %q", tag)
 		return
@@ -410,7 +414,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 	for _, rep := range merged {
 		track = append(track, TrackPoint{T: rep.T, Pos: rep.Pos, Vendor: rep.Vendor.String()})
 	}
-	pos, at, found, _ := s.cache.LastSeen(tag)
+	pos, at, found, _ := s.cache.LastSeenTraced(tag, tr)
 	writeJSON(w, http.StatusOK, TrackResponse{
 		TagID: tag,
 		Last:  lastKnownAt(trace.VendorCombined.String(), tag, pos, at, found, now),
@@ -464,5 +468,12 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "no %s service", rep.Vendor)
 		return
 	}
-	writeJSON(w, http.StatusOK, IngestResponse{Accepted: svc.Ingest(rep)})
+	tr := otrace.FromContext(r.Context())
+	sp := tr.Start(otrace.PlaneStore, "store.ingest", 0, 0)
+	accepted := svc.Ingest(rep)
+	if accepted {
+		tr.SetAttrs(sp, 1, 0)
+	}
+	tr.Finish(sp)
+	writeJSON(w, http.StatusOK, IngestResponse{Accepted: accepted})
 }

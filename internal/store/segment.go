@@ -11,6 +11,7 @@ import (
 
 	"tagsim/internal/colfmt"
 	"tagsim/internal/geo"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/trace"
 )
 
@@ -366,8 +367,11 @@ func (s *segment) lookup(tag string) *segTagEntry {
 
 // readTagRange returns the entry's rows with persisted-sequence numbers
 // in [a, b), oldest-first, with TagID attached. Only the data frames
-// overlapping the requested row range are read and CRC-verified.
-func (s *segment) readTagRange(e *segTagEntry, a, b uint64) ([]trace.Report, error) {
+// overlapping the requested row range are read and CRC-verified. A
+// non-nil tr gets a pread and a decode span per frame touched (a cold
+// read is ~100 µs+, so the four clock reads per frame are in the
+// noise).
+func (s *segment) readTagRange(e *segTagEntry, a, b uint64, tr *otrace.Trace) ([]trace.Report, error) {
 	end := e.startSeq + uint64(e.rowCount)
 	if a < e.startSeq || b > end || a > b {
 		return nil, fmt.Errorf("store: segment %s tag %q: range [%d,%d) outside run [%d,%d)", s.name, e.tag, a, b, e.startSeq, end)
@@ -385,7 +389,10 @@ func (s *segment) readTagRange(e *segTagEntry, a, b uint64) ([]trace.Report, err
 	out := make([]trace.Report, 0, n)
 	for ; fi < len(s.frames) && s.frames[fi].rowStart < hi; fi++ {
 		fr := s.frames[fi]
+		pread := tr.Start(otrace.PlaneStore, "store.pread", 0, int64(fi))
 		payload, err := colfmt.ReadFrameCRCAt(s.f, fr.offset)
+		tr.SetAttrs(pread, int64(len(payload)), int64(fi))
+		tr.Finish(pread)
 		if err != nil {
 			return nil, fmt.Errorf("store: segment %s frame %d: %w", s.name, fi, err)
 		}
@@ -396,7 +403,9 @@ func (s *segment) readTagRange(e *segTagEntry, a, b uint64) ([]trace.Report, err
 		if hi < fr.rowStart+uint64(fr.count) {
 			b = hi - fr.rowStart
 		}
+		decode := tr.Start(otrace.PlaneStore, "store.decode", int64(b-a), int64(fr.count))
 		out, err = decodeSegFrameRange(payload, out, fr.count, a, b)
+		tr.Finish(decode)
 		if err != nil {
 			return nil, fmt.Errorf("store: segment %s frame %d: %w", s.name, fi, err)
 		}

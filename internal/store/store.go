@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"tagsim/internal/geo"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/trace"
 )
 
@@ -494,19 +495,26 @@ func (s *Store) History(tagID string) []trace.Report {
 // nil means no history at all; limit 0 against a tag with history is an
 // empty non-nil slice.
 func (s *Store) RecentHistory(tagID string, limit int) []trace.Report {
+	return s.RecentHistoryTraced(tagID, limit, nil)
+}
+
+// RecentHistoryTraced is RecentHistory recording its memtable merge
+// and any segment preads as spans on tr (nil tr traces nothing) — the
+// entry point the traced serve/cache read path threads through.
+func (s *Store) RecentHistoryTraced(tagID string, limit int, tr *otrace.Trace) []trace.Report {
 	sh := s.shardFor(tagID)
 	if lockedReads.Load() {
 		var out []trace.Report
 		sh.mu.Lock()
 		if st := sh.getLocked(tagID); st != nil {
-			out = s.visibleHistory(tagID, st.persisted, st.hist, st.histAt, st.lastAt, limit)
+			out = s.visibleHistory(tagID, st.persisted, st.hist, st.histAt, st.lastAt, limit, tr)
 		}
 		sh.mu.Unlock()
 		return out
 	}
 	if st := sh.lookup(tagID); st != nil {
 		v := st.view.Load()
-		return s.visibleHistory(tagID, v.persisted, v.hist, v.histAt, v.lastAt, limit)
+		return s.visibleHistory(tagID, v.persisted, v.hist, v.histAt, v.lastAt, limit, tr)
 	}
 	return nil
 }
@@ -517,7 +525,7 @@ func (s *Store) RecentHistory(tagID string, limit int) []trace.Report {
 // single read path shared by the lock-free views, the locked escape
 // hatch, and Snapshot — in-memory stores (persisted 0) reduce to the
 // historical ringCopy.
-func (s *Store) visibleHistory(tagID string, persisted uint64, hist []trace.Report, histAt int, lastAt time.Time, limit int) []trace.Report {
+func (s *Store) visibleHistory(tagID string, persisted uint64, hist []trace.Report, histAt int, lastAt time.Time, limit int, tr *otrace.Trace) []trace.Report {
 	total := int(persisted) + len(hist)
 	if total == 0 {
 		return nil
@@ -534,11 +542,18 @@ func (s *Store) visibleHistory(tagID string, persisted uint64, hist []trace.Repo
 	case n == 0:
 		out = make([]trace.Report, 0)
 	case need <= 0:
+		// Ring-only: the memtable merge is an untimed event span — this
+		// is the cached fill's hot path, too cheap to bill clock reads.
+		tr.Event(otrace.PlaneStore, "store.memtable", int64(n), 0)
 		out = ringCopy(hist, histAt, n)
 	default:
+		// The merge needs disk: a timed span, with the segment pread and
+		// frame-decode spans nesting under it.
+		sp := tr.Start(otrace.PlaneStore, "store.memtable", int64(len(hist)), int64(need))
 		out = make([]trace.Report, 0, n)
-		out = s.tier.readDisk(tagID, persisted, need, out)
+		out = s.tier.readDisk(tagID, persisted, need, out, tr)
 		out = append(out, ringCopy(hist, histAt, -1)...)
+		tr.Finish(sp)
 	}
 	if w := s.Retention.KeepWindow; w > 0 {
 		out = trimWindow(out, lastAt, w)
@@ -636,7 +651,7 @@ func (s *Store) Snapshot() Snapshot {
 		for id, st := range s.shards[i].allLocked() {
 			snap.Tags = append(snap.Tags, TagSnapshot{
 				ID: id, Pos: st.lastPos, At: st.lastAt, HasLast: st.hasLast,
-				History: s.visibleHistory(id, st.persisted, st.hist, st.histAt, st.lastAt, -1),
+				History: s.visibleHistory(id, st.persisted, st.hist, st.histAt, st.lastAt, -1, nil),
 			})
 		}
 	}

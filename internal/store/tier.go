@@ -15,6 +15,8 @@ import (
 	"time"
 
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/runner"
 	"tagsim/internal/trace"
 )
@@ -559,8 +561,23 @@ type flushTag struct {
 // drain, but lock-free readers never block — the publish order (segment
 // list first, then per-tag persisted bumps) keeps them consistent
 // throughout, as described at the top of this file. Caller holds
-// flushMu.
+// flushMu. The wrapper times the whole flush into its histogram and a
+// self-rooted tier trace (flushes are background work with no request
+// to hang spans off).
 func (t *tier) flush(s *Store) error {
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
+	tr := otrace.Begin(otrace.PlaneTier, "tier.flush")
+	err := t.flushTraced(s, tr)
+	obs.Since(obsFlushHist, t0)
+	tr.End(flushThreshold)
+	return err
+}
+
+func (t *tier) flushTraced(s *Store, tr *otrace.Trace) error {
+	drain := tr.Start(otrace.PlaneTier, "flush.drain", 0, 0)
 	for i := range s.shards {
 		s.shards[i].mu.Lock()
 	}
@@ -578,9 +595,12 @@ func (t *tier) flush(s *Store) error {
 		}
 	}
 	if len(tags) == 0 && t.walBytes.Load() < t.walFlushBytes {
+		tr.Finish(drain)
 		return nil
 	}
 	sort.Slice(tags, func(i, j int) bool { return tags[i].id < tags[j].id })
+	tr.SetAttrs(drain, int64(len(tags)), int64(t.memBytes.Load()))
+	tr.Finish(drain)
 
 	t.listMu.Lock()
 	defer t.listMu.Unlock()
@@ -589,6 +609,11 @@ func (t *tier) flush(s *Store) error {
 
 	var seg *segment
 	if len(tags) > 0 {
+		rows := 0
+		for _, ft := range tags {
+			rows += len(ft.rows)
+		}
+		write := tr.Start(otrace.PlaneTier, "flush.segment", int64(len(tags)), int64(rows))
 		name := segFileName(gen)
 		path := filepath.Join(t.dir, name)
 		w, err := createSegment(path)
@@ -624,6 +649,7 @@ func (t *tier) flush(s *Store) error {
 			st.hist, st.histAt = nil, 0
 			st.publish()
 		}
+		tr.Finish(write)
 	}
 	for i := range s.shards {
 		s.shards[i].flushDirty = nil
@@ -631,6 +657,7 @@ func (t *tier) flush(s *Store) error {
 	t.memBytes.Store(0)
 
 	// Rotate the WAL: records up to here are covered by the segments.
+	rotate := tr.Start(otrace.PlaneTier, "flush.rotate", 0, 0)
 	oldWAL, oldWALName := t.wal.Load(), t.walName
 	newName := walFileName(gen)
 	w, err := createWAL(filepath.Join(t.dir, newName), uint64(t.cfg.WALSyncBytes))
@@ -662,7 +689,9 @@ func (t *tier) flush(s *Store) error {
 		return err
 	}
 	os.Remove(filepath.Join(t.dir, oldWALName))
+	tr.Finish(rotate)
 	t.flushes.Add(1)
+	obsFlushes.Inc()
 	t.kickCompactor()
 	return nil
 }
@@ -712,7 +741,7 @@ func (s *Store) Close() error {
 // [hi-need, hi) to out, oldest-first, scanning the segment list newest
 // first. A segment that fails its CRC is quarantined and its rows
 // omitted (counted in ReadErrors) — corrupt bytes are never served.
-func (t *tier) readDisk(tagID string, hi uint64, need int, out []trace.Report) []trace.Report {
+func (t *tier) readDisk(tagID string, hi uint64, need int, out []trace.Report, tr *otrace.Trace) []trace.Report {
 	if t == nil || need <= 0 || hi == 0 {
 		return out
 	}
@@ -733,8 +762,9 @@ func (t *tier) readDisk(tagID string, hi uint64, need int, out []trace.Report) [
 			continue
 		}
 		a, b := max(s0, lo), min(s1, hi)
-		rows, err := seg.readTagRange(e, a, b)
+		rows, err := seg.readTagRange(e, a, b, tr)
 		if err != nil {
+			tr.Event(otrace.PlaneTier, "tier.quarantine", int64(i), 0)
 			t.readErrs.Add(1)
 			t.setErr(err)
 			t.quarantine(seg)
@@ -755,6 +785,10 @@ func (t *tier) readDisk(tagID string, hi uint64, need int, out []trace.Report) [
 // aside. Racing readers holding the old list keep their (open, renamed)
 // handle; the store serves the surviving rows.
 func (t *tier) quarantine(bad *segment) {
+	// Every quarantine is an incident: the self-rooted trace captures
+	// unconditionally (quarantineThreshold is a zero floor, no p99).
+	qtr := otrace.Begin(otrace.PlaneTier, "tier.quarantine")
+	defer qtr.End(quarantineThreshold)
 	t.listMu.Lock()
 	defer t.listMu.Unlock()
 	cur := t.list.Load().segs
@@ -781,6 +815,8 @@ func (t *tier) quarantine(bad *segment) {
 	os.Rename(path, path+".quarantine")
 	t.obsolete = append(t.obsolete, bad)
 	t.quarantined.Add(1)
+	obsQuarantines.Inc()
+	qtr.SetAttrs(0, int64(bad.size), int64(bad.rows))
 	t.setErr(t.writeManifest())
 }
 
@@ -889,6 +925,23 @@ type mergedTag struct {
 // newer-or-equal) memtable state, so it is always at or above the floor
 // used here — a dropped row is one no read could have returned.
 func (t *tier) compact(s *Store, run []*segment) error {
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
+	var runBytes int64
+	for _, seg := range run {
+		runBytes += seg.size
+	}
+	tr := otrace.Begin(otrace.PlaneTier, "tier.compact")
+	tr.SetAttrs(0, int64(len(run)), runBytes)
+	err := t.compactTraced(s, run, tr)
+	obs.Since(obsCompactHist, t0)
+	tr.End(compactThreshold)
+	return err
+}
+
+func (t *tier) compactTraced(s *Store, run []*segment, tr *otrace.Trace) error {
 	full := t.list.Load().segs
 	// Union of the run's tags, sorted (entry lists are sorted, so a
 	// merge would do; the simple collect+sort is not the hot path).
@@ -919,6 +972,9 @@ func (t *tier) compact(s *Store, run []*segment) error {
 
 	// Decode and trim tag runs in parallel (bounded chunks), append to
 	// the writer sequentially — the writer is single-stream by design.
+	// The pool workers get no trace handle (a Trace is single-goroutine);
+	// the merge span bounds the whole parallel phase instead.
+	merge := tr.Start(otrace.PlaneTier, "compact.merge", int64(len(tags)), 0)
 	const chunk = 512
 	for base := 0; base < len(tags); base += chunk {
 		n := min(chunk, len(tags)-base)
@@ -947,8 +1003,12 @@ func (t *tier) compact(s *Store, run []*segment) error {
 		os.Remove(path)
 		return fmt.Errorf("store: compacted segment failed validation: %w", err)
 	}
+	tr.SetAttrs(merge, int64(len(tags)), seg.size)
+	tr.Finish(merge)
 
 	// Swap the run for the merged segment at the same list position.
+	swap := tr.Start(otrace.PlaneTier, "compact.swap", 0, 0)
+	defer tr.Finish(swap)
 	t.listMu.Lock()
 	defer t.listMu.Unlock()
 	cur := t.list.Load().segs
@@ -990,6 +1050,7 @@ func (t *tier) compact(s *Store, run []*segment) error {
 		t.obsolete = append(t.obsolete, old)
 	}
 	t.compactions.Add(1)
+	obsCompactions.Inc()
 	t.compactedBytes.Add(uint64(reclaimed))
 	return nil
 }
@@ -1013,7 +1074,7 @@ func mergeTagRun(run, full []*segment, tag string, keep int, window time.Duratio
 		if e == nil {
 			continue
 		}
-		rows, err := seg.readTagRange(e, e.startSeq, e.startSeq+uint64(e.rowCount))
+		rows, err := seg.readTagRange(e, e.startSeq, e.startSeq+uint64(e.rowCount), nil)
 		if err != nil {
 			return m, err
 		}

@@ -11,6 +11,8 @@ import (
 
 	"tagsim/internal/colfmt"
 	"tagsim/internal/geo"
+	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/trace"
 )
 
@@ -166,10 +168,31 @@ func (w *walWriter) append(rec walRecord) (totalBytes uint64, err error) {
 	w.bytes += n
 	w.unsynced += n
 	w.records++
+	obsWALRecords.Inc()
+	obsWALBytes.Add(n)
 	if w.unsynced >= w.syncBytes {
-		return w.bytes, w.syncLocked()
+		return w.bytes, w.syncBatchLocked()
 	}
 	return w.bytes, nil
+}
+
+// syncBatchLocked is the group-commit point: the fsync that lands when
+// an append fills the batch. It is the observable WAL edge — the
+// latency histogram and a self-rooted tier trace (batch bytes and
+// record total as attrs) record it; individual appends are too hot to
+// bill clock reads to and are covered by the record/byte counters.
+func (w *walWriter) syncBatchLocked() error {
+	batch, records := w.unsynced, w.records
+	var t0 time.Time
+	if obs.Enabled() {
+		t0 = time.Now()
+	}
+	tr := otrace.Begin(otrace.PlaneTier, "wal.fsync_batch")
+	tr.SetAttrs(0, int64(batch), int64(records))
+	err := w.syncLocked()
+	obs.Since(obsWALFsyncHist, t0)
+	tr.End(walFsyncThreshold)
+	return err
 }
 
 // sync flushes buffered records and fsyncs the file — the group-commit
@@ -194,6 +217,7 @@ func (w *walWriter) syncLocked() error {
 	}
 	w.fsyncs++
 	w.unsynced = 0
+	obsWALFsyncs.Inc()
 	return nil
 }
 

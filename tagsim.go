@@ -34,6 +34,7 @@ import (
 	"tagsim/internal/load"
 	"tagsim/internal/mobility"
 	"tagsim/internal/obs"
+	otrace "tagsim/internal/obs/trace"
 	"tagsim/internal/pipeline"
 	"tagsim/internal/runner"
 	"tagsim/internal/scenario"
@@ -341,6 +342,12 @@ var (
 	SetMetrics = obs.SetEnabled
 	// MetricsEnabled reports whether obs updates are currently on.
 	MetricsEnabled = obs.Enabled
+	// SetTracing toggles request-scoped span tracing process-wide
+	// (default on; the always-on tracing escape hatch mirroring
+	// SetMetrics). It returns the previous setting.
+	SetTracing = otrace.SetTracing
+	// TracingEnabled reports whether span tracing is currently on.
+	TracingEnabled = otrace.Enabled
 	// MetricsRegistry is the process-wide obs registry (plane totals:
 	// scan ticks, pipeline throughput); serve.Server keeps its own.
 	MetricsRegistry = obs.Default
